@@ -1,0 +1,194 @@
+(* usherc — command-line driver for the Usher library.
+
+     usherc analyze FILE   static analysis: stats, optional artifact dumps
+     usherc run FILE       execute under a chosen instrumentation variant
+     usherc gen NAME       print a SPEC2000-analog TinyC source
+     usherc bench NAME     one benchmark end to end (all variants)
+
+   Programs are TinyC sources (see README). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let level_conv =
+  let parse = function
+    | "O0+IM" | "o0" | "O0" -> Ok Optim.Pipeline.O0_IM
+    | "O1" | "o1" -> Ok Optim.Pipeline.O1
+    | "O2" | "o2" -> Ok Optim.Pipeline.O2
+    | s -> Error (`Msg ("unknown optimization level " ^ s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Optim.Pipeline.level_to_string l))
+
+let variant_conv =
+  let parse = function
+    | "msan" -> Ok Usher.Config.Msan
+    | "tl" -> Ok Usher.Config.Usher_tl
+    | "tlat" | "tl+at" -> Ok Usher.Config.Usher_tl_at
+    | "opt1" | "opti" -> Ok Usher.Config.Usher_opt1
+    | "usher" | "full" -> Ok Usher.Config.Usher_full
+    | s -> Error (`Msg ("unknown variant " ^ s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Usher.Config.variant_name v))
+
+let level_arg =
+  Arg.(value & opt level_conv Optim.Pipeline.O0_IM
+       & info [ "l"; "level" ] ~doc:"Optimization level: O0+IM, O1 or O2.")
+
+let variant_arg =
+  Arg.(value & opt variant_conv Usher.Config.Usher_full
+       & info [ "v"; "variant" ] ~doc:"Variant: msan, tl, tl+at, opt1 or usher.")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let dump_arg =
+  Arg.(value & opt_all (enum [ ("ir", `Ir); ("memssa", `Memssa); ("vfg", `Vfg);
+                               ("plan", `Plan); ("cfg-dot", `Cfg_dot);
+                               ("vfg-dot", `Vfg_dot) ]) []
+       & info [ "dump" ]
+           ~doc:"Dump an artifact: ir, memssa, vfg, plan, cfg-dot or vfg-dot \
+                 (the -dot forms are Graphviz).")
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run file level variant dumps =
+    let src = read_file file in
+    let prog = Usher.Pipeline.front ~level src in
+    let a = Usher.Pipeline.analyze prog in
+    let plan, guided = Usher.Pipeline.plan_for a variant in
+    let stats = Instr.Item.stats_of plan in
+    let t1 = Usher.Analysis_stats.compute ~src a in
+    List.iter
+      (function
+        | `Ir -> print_string (Ir.Printer.prog_to_string prog)
+        | `Memssa -> print_string (Memssa.to_string a.mssa)
+        | `Vfg ->
+          Vfg.Graph.iter_nodes
+            (fun id n ->
+              let mark = if Vfg.Resolve.is_undef a.gamma id then "BOT" else "TOP" in
+              Printf.printf "%4d %s %s\n" id mark
+                (Vfg.Graph.node_to_string prog a.pa.objects n);
+              List.iter
+                (fun (d, k) ->
+                  let kind =
+                    match k with
+                    | Vfg.Graph.Eintra -> ""
+                    | Vfg.Graph.Ecall l -> Printf.sprintf " [call l%d]" l
+                    | Vfg.Graph.Eret l -> Printf.sprintf " [ret l%d]" l
+                  in
+                  Printf.printf "       -> %s%s\n"
+                    (Vfg.Graph.node_to_string prog a.pa.objects
+                       (Vfg.Graph.node_of a.vfg.graph d))
+                    kind)
+                (Vfg.Graph.succs a.vfg.graph id))
+            a.vfg.graph
+        | `Cfg_dot -> print_string (Ir.Dot.prog_to_string prog)
+        | `Vfg_dot -> print_string (Vfg.Dot.to_string ~gamma:a.gamma a.vfg)
+        | `Plan ->
+          Array.iteri
+            (fun lbl items ->
+              List.iter
+                (fun (it : Instr.Item.item) ->
+                  Printf.printf "l%d %s: %s\n" lbl
+                    (match it.pos with Instr.Item.Before -> "pre " | After -> "post")
+                    (Instr.Item.action_to_string prog it.act))
+                (List.rev items))
+            plan.items)
+      dumps;
+    Printf.printf "variant: %s\n" (Usher.Config.variant_name variant);
+    Printf.printf "statements: %d   Var_TL: %d   Var_AT: %d stack / %d heap / %d global\n"
+      (Ir.Prog.size prog) t1.var_tl t1.var_at_stack t1.var_at_heap t1.var_at_global;
+    Printf.printf "VFG nodes: %d (%.0f%% need tracking)   stores: %.0f%% strong, %.0f%% weak-singleton\n"
+      t1.vfg_nodes t1.pct_reaching t1.pct_strong t1.pct_weak_singleton;
+    Printf.printf "static shadow propagations: %d   checks: %d   items: %d\n"
+      stats.propagations stats.checks stats.total_items;
+    (match guided with
+    | Some g ->
+      Printf.printf "guided traversal reached %d nodes; Opt I simplified %d closures\n"
+        g.needed_nodes g.opt1_simplified
+    | None -> ());
+    Printf.printf "Opt II redirected %d nodes\n" a.opt2.redirected
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Statically analyze a TinyC program")
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run file level variant =
+    let src = read_file file in
+    let prog = Usher.Pipeline.front ~level src in
+    let a = Usher.Pipeline.analyze prog in
+    let plan, _ = Usher.Pipeline.plan_for a variant in
+    let native = Runtime.Interp.run_native prog in
+    let o = Runtime.Interp.run_plan prog plan in
+    List.iter (fun v -> Printf.printf "output: %d\n" v) o.outputs;
+    Printf.printf "exit: %d\n" o.exit_value;
+    Hashtbl.iter
+      (fun l () ->
+        Printf.printf "WARNING: use of undefined value at statement l%d\n" l)
+      o.detections;
+    Printf.printf "slowdown vs native: %.1f%%  (%d shadow ops over %d base ops)\n"
+      (Runtime.Costmodel.slowdown_pct ~native:native.counters
+         ~instrumented:o.counters ())
+      (Runtime.Counters.shadow_ops o.counters)
+      (Runtime.Counters.base_ops o.counters)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a TinyC program under instrumentation")
+    Term.(const run $ file_arg $ level_arg $ variant_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run name scale =
+    let p = Workloads.Spec2000.find name in
+    print_string (Workloads.Spec2000.source ~scale p)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let scale_arg =
+    Arg.(value & opt int 30 & info [ "scale" ] ~doc:"Input scale (100 = nominal).")
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Print a SPEC2000-analog TinyC source")
+    Term.(const run $ name_arg $ scale_arg)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let run name scale level =
+    let p = Workloads.Spec2000.find name in
+    let src = Workloads.Spec2000.source ~scale p in
+    let e = Usher.Experiment.run ~name ~level src in
+    Printf.printf "%s at %s (scale %d):\n" name
+      (Optim.Pipeline.level_to_string level) scale;
+    List.iter
+      (fun (r : Usher.Experiment.variant_result) ->
+        Printf.printf "  %-12s slowdown %6.1f%%  props %6d  checks %5d  detections %d\n"
+          (Usher.Config.variant_name r.variant)
+          r.slowdown_pct r.static_stats.propagations r.static_stats.checks
+          (List.length r.detections))
+      e.results
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let scale_arg =
+    Arg.(value & opt int 30 & info [ "scale" ] ~doc:"Input scale (100 = nominal).")
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run one SPEC2000 analog end to end")
+    Term.(const run $ name_arg $ scale_arg $ level_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "usherc" ~version:"1.0.0"
+       ~doc:"Usher: static value-flow analysis accelerating undefined-value detection")
+    [ analyze_cmd; run_cmd; gen_cmd; bench_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/optimization_study.ml: Instr Printf Usher

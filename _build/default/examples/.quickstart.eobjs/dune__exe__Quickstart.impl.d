@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashtbl Instr Ir List Printf Runtime Usher Vfg

@@ -1,0 +1,1 @@
+examples/spec_report.ml: List Printf Usher Workloads

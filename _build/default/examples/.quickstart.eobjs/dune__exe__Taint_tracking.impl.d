@@ -1,0 +1,1 @@
+examples/taint_tracking.ml: Ir List Printf Usher Vfg

@@ -1,0 +1,115 @@
+(* Optimization study: the three precision mechanisms the paper highlights,
+   each demonstrated on (a version of) its own worked example.
+
+     dune exec examples/optimization_study.exe
+
+   1. Semi-strong updates (Fig. 6): an allocation inside a loop, stored to
+      through a pointer derived from it — a weak update would drag the
+      malloc's F into every later load; the semi-strong update bypasses it.
+   2. Opt I, value-flow simplification (Fig. 8): a chain of binary
+      operations collapses into one conjunction of its sources' shadows.
+   3. Opt II, redundant check elimination (Fig. 9): a check dominated by
+      another check of the same must-flow closure is eliminated. *)
+
+let analyze_counts ?(knobs = Usher.Config.default_knobs) variant src =
+  let prog = Usher.Pipeline.front src in
+  let a = Usher.Pipeline.analyze ~knobs prog in
+  let plan, _ = Usher.Pipeline.plan_for a variant in
+  (Instr.Item.stats_of plan, a)
+
+(* --- 1. semi-strong updates ------------------------------------------ *)
+
+let fig6 = {|
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    int *q = (int*)malloc(1);   // alloc_F: uninitialized heap cell
+    *q = i * 2;                 // semi-strong: q derives from the alloc
+    s = s + *q;                 // load sees a defined value statically
+  }
+  print(s);
+  return 0;
+}
+|}
+
+let demo_semi_strong () =
+  print_endline "== 1. Semi-strong updates (Fig. 6) ==";
+  let on, a_on = analyze_counts Usher.Config.Usher_tl_at fig6 in
+  let off, _ =
+    analyze_counts
+      ~knobs:{ Usher.Config.default_knobs with semi_strong = false }
+      Usher.Config.Usher_tl_at fig6
+  in
+  Printf.printf "semi-strong cuts applied: %d\n" a_on.vfg.semi_strong_cuts;
+  Printf.printf "with semi-strong:    %2d propagations, %2d checks\n"
+    on.propagations on.checks;
+  Printf.printf "without (weak only): %2d propagations, %2d checks\n"
+    off.propagations off.checks;
+  Printf.printf
+    "the store kills the malloc's F for the loop body; with weak updates\n";
+  Printf.printf "the load and everything after it stays instrumented.\n\n"
+
+(* --- 2. Opt I --------------------------------------------------------- *)
+
+let fig8 = {|
+int main() {
+  int sel = 0;
+  int a;
+  int b;
+  int c;
+  int d;
+  if (sel == 0) { a = 1; b = 2; c = 3; d = 4; }   // statically maybe-undef
+  int x = a + b;      // the closure of z is {z, x, y, a, b, c, d}
+  int y = c + d;
+  int z = x + y;
+  if (z > 5) { print(1); } else { print(0); }
+  return 0;
+}
+|}
+
+let demo_opt1 () =
+  print_endline "== 2. Opt I: value-flow simplification (Fig. 8) ==";
+  let without, _ = analyze_counts Usher.Config.Usher_tl_at fig8 in
+  let with_, _ = analyze_counts Usher.Config.Usher_opt1 fig8 in
+  Printf.printf "without Opt I: %2d propagations (x and y relay shadows to z)\n"
+    without.propagations;
+  Printf.printf "with Opt I:    %2d propagations (sigma(z) reads its sources directly)\n"
+    with_.propagations;
+  print_newline ()
+
+(* --- 3. Opt II -------------------------------------------------------- *)
+
+let fig9 = {|
+int main() {
+  int sel = 1;
+  int b;
+  if (sel > 0) { b = 7; }       // maybe-undef, defined at run time
+  int c = b + 1;
+  int buf[4];
+  int i;
+  for (i = 0; i < 4; i = i + 1) { buf[i] = i; }
+  int x = buf[c & 3];           // l1: critical load guarded by c's closure
+  int d = 0;
+  int e = b + d;                // flows from b again...
+  if (e > 3) { print(1); } else { print(0); }   // l2: dominated by l1
+  print(x);
+  return 0;
+}
+|}
+
+let demo_opt2 () =
+  print_endline "== 3. Opt II: redundant check elimination (Fig. 9) ==";
+  let without, _ = analyze_counts Usher.Config.Usher_opt1 fig9 in
+  let with_, a = analyze_counts Usher.Config.Usher_full fig9 in
+  Printf.printf "VFG nodes redirected to T: %d\n" a.opt2.redirected;
+  Printf.printf "without Opt II: %2d checks\n" without.checks;
+  Printf.printf "with Opt II:    %2d checks\n" with_.checks;
+  Printf.printf
+    "if b were undefined it would already be reported at the dominating use,\n";
+  Printf.printf "so the later checks fed by the same closure are dropped.\n\n"
+
+let () =
+  demo_semi_strong ();
+  demo_opt1 ();
+  demo_opt2 ()

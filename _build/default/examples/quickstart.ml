@@ -1,0 +1,79 @@
+(* Quickstart: compile a TinyC program, analyze it with Usher, and compare
+   full (MSan-style) instrumentation against Usher's guided instrumentation.
+
+     dune exec examples/quickstart.exe
+
+   The program below contains one real bug: [limit] is only initialized when
+   [argc > 1], but the branch guard at the bottom reads it unconditionally. *)
+
+let source = {|
+int threshold = 50;
+
+int clamp(int v) {
+  if (v > 100) { return 100; }
+  if (v < 0) { return 0; }
+  return v;
+}
+
+int main() {
+  int argc = 1;          // pretend nothing was passed on the command line
+  int limit;             // BUG: only initialized when argc > 1
+  int total = 0;
+  int i;
+  int samples[16];
+
+  if (argc > 1) { limit = 75; }
+
+  for (i = 0; i < 16; i = i + 1) { samples[i] = i * 9 % 31; }
+  for (i = 0; i < 16; i = i + 1) { total = total + clamp(samples[i]); }
+
+  if (total > limit) {   // <- use of the undefined value at a branch
+    print(1);
+  } else {
+    print(0);
+  }
+  print(total);
+  return 0;
+}
+|}
+
+let () =
+  (* 1. Front end: parse, lower to the LLVM-like IR, run O0+IM (inlining of
+     function-pointer functions + mem2reg), leaving the program in SSA. *)
+  let prog = Usher.Pipeline.front source in
+  Printf.printf "IR statements after O0+IM: %d\n\n" (Ir.Prog.size prog);
+
+  (* 2. Static analysis: Andersen points-to, memory SSA, the value-flow
+     graph, and context-sensitive definedness resolution. *)
+  let analysis = Usher.Pipeline.analyze prog in
+  Printf.printf "VFG: %d nodes, %d edges; %d nodes may carry undefined values\n\n"
+    (Vfg.Graph.nnodes analysis.vfg.graph)
+    (Vfg.Graph.nedges analysis.vfg.graph)
+    (Vfg.Resolve.undef_count analysis.gamma);
+
+  (* 3. Instrumentation plans: the MSan baseline shadows everything; Usher
+     instruments only flows that can reach a critical operation undefined. *)
+  List.iter
+    (fun variant ->
+      let plan, _ = Usher.Pipeline.plan_for analysis variant in
+      let stats = Instr.Item.stats_of plan in
+      let native = Runtime.Interp.run_native prog in
+      let outcome = Runtime.Interp.run_plan prog plan in
+      Printf.printf "%-12s %3d shadow propagations, %2d checks -> %5.1f%% slowdown"
+        (Usher.Config.variant_name variant)
+        stats.propagations stats.checks
+        (Runtime.Costmodel.slowdown_pct ~native:native.counters
+           ~instrumented:outcome.counters ());
+      Hashtbl.iter
+        (fun lbl () -> Printf.printf "  [reports undefined use at l%d]" lbl)
+        outcome.detections;
+      print_newline ())
+    Usher.Config.all_variants;
+
+  print_newline ();
+  print_endline
+    "Both the full and the guided instrumentation report the same bug —";
+  print_endline
+    "Usher just pays a fraction of the shadow traffic for it (the defined";
+  print_endline
+    "flows through samples[], total and clamp() were proven clean statically)."

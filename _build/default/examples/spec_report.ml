@@ -1,0 +1,24 @@
+(* Mini Figure 10: a fast three-benchmark slice of the evaluation, showing
+   the spectrum the paper's figure spans — 181.mcf (almost everything
+   provable: Usher's overhead collapses), 164.gzip (the typical case) and
+   253.perlbmk (the worst case for every tool).
+
+     dune exec examples/spec_report.exe *)
+
+let () =
+  Printf.printf "%-13s %8s %8s %9s %8s %8s\n" "benchmark" "MSan" "Usher_TL"
+    "Ushr_TLAT" "UshrOptI" "Usher";
+  List.iter
+    (fun name ->
+      let p = Workloads.Spec2000.find name in
+      let src = Workloads.Spec2000.source ~scale:20 p in
+      let e = Usher.Experiment.run ~name src in
+      let sd v = (Usher.Experiment.result_for e v).slowdown_pct in
+      Printf.printf "%-13s %8.0f %8.0f %9.0f %8.0f %8.0f\n" name
+        (sd Usher.Config.Msan) (sd Usher.Config.Usher_tl)
+        (sd Usher.Config.Usher_tl_at) (sd Usher.Config.Usher_opt1)
+        (sd Usher.Config.Usher_full))
+    [ "181.mcf"; "164.gzip"; "253.perlbmk" ];
+  print_newline ();
+  print_endline "Run `dune exec bench/main.exe` for the full 15-benchmark";
+  print_endline "reproduction of Table 1 and Figures 10/11."

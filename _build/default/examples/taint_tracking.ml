@@ -1,0 +1,82 @@
+(* Taint tracking on the same value-flow graph (DESIGN.md: the paper claims
+   its VFG is a general representation, and places itself in the same sparse
+   value-flow family as taint analysis). This example builds one VFG and
+   answers two completely different questions with the same machinery:
+
+   1. definedness — which critical operations may consume undefined values?
+   2. input taint — which critical operations are influenced by input()?
+
+     dune exec examples/taint_tracking.exe *)
+
+let source = {|
+int table[8];
+
+int sanitize(int v) {
+  if (v < 0) { return 0; }
+  if (v > 7) { return 7; }
+  return v;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) { table[i] = i * i; }
+
+  int raw = input();            // taint source
+  int idx = sanitize(raw);      // tainted through the call and back
+  int safe = 3;
+
+  int a = table[idx];           // tainted addressing (load via idx)
+  int b = table[safe];          // untainted addressing
+
+  if (a > b) {                  // NOT value-tainted: data-flow taint does
+    print(1);                   // not cross an address dependence
+  }
+  if (safe > 2) {               // untainted branch
+    print(2);
+  }
+
+  int u;                        // and one undefined-value bug for contrast
+  if (u > a) { print(3); }
+  return 0;
+}
+|}
+
+let () =
+  let prog = Usher.Pipeline.front source in
+  let a = Usher.Pipeline.analyze prog in
+
+  (* Client 1: definedness (the paper's client). *)
+  let undef_criticals =
+    List.filter
+      (fun (c : Vfg.Build.critical) ->
+        match c.cop with
+        | Ir.Types.Var v -> (
+          match Vfg.Graph.find a.vfg.graph (Vfg.Graph.Top v) with
+          | Some id -> Vfg.Resolve.is_undef a.gamma id
+          | None -> false)
+        | _ -> false)
+      a.vfg.criticals
+  in
+  Printf.printf "definedness client: %d of %d critical operations may use an undefined value\n"
+    (List.length undef_criticals)
+    (List.length a.vfg.criticals);
+
+  (* Client 2: input taint — same graph, same engine, different seeds. *)
+  let t = Vfg.Client_taint.run a.vfg in
+  Printf.printf "taint client: %d source(s), %d of %d VFG nodes tainted\n"
+    t.sources t.tainted_nodes
+    (Vfg.Graph.nnodes a.vfg.graph);
+  List.iter
+    (fun (f : Vfg.Client_taint.finding) ->
+      Printf.printf "  input-influenced %s at l%d in %s\n"
+        (match f.fkind with `Branch -> "branch" | `Load -> "load" | `Store -> "store")
+        f.flbl f.ffunc)
+    t.findings;
+
+  print_newline ();
+  print_endline "The taint client flags the sanitize() branches (they test the";
+  print_endline "raw input) and the idx-indexed load (input-influenced";
+  print_endline "addressing), but not the safe accesses — and not a > b, since";
+  print_endline "data-flow taint does not cross the address dependence of a";
+  print_endline "load. The undefined-value client independently flags the use";
+  print_endline "of u. One graph, one reachability engine, two analyses."

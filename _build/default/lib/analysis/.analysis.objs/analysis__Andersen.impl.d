@@ -1,0 +1,1 @@
+lib/analysis/andersen.ml: Array Bitset Hashtbl Ir List Objects Option Queue

@@ -1,0 +1,1 @@
+lib/analysis/andersen.mli: Bitset Hashtbl Ir Objects

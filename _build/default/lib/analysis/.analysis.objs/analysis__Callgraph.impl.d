@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Andersen Array Hashtbl Ir List Option

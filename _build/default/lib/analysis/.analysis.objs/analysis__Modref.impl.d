@@ -1,0 +1,1 @@
+lib/analysis/modref.ml: Andersen Array Bitset Callgraph Hashtbl Ir List Objects

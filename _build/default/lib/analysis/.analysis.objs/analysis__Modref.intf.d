@@ -1,0 +1,1 @@
+lib/analysis/modref.mli: Andersen Bitset Callgraph Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/analysis/objects.ml: Array Hashtbl Ir Printf

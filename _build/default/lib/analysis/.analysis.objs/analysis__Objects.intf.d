@@ -1,0 +1,1 @@
+lib/analysis/objects.mli: Ir

@@ -1,0 +1,433 @@
+(* Offset-based, field-sensitive, inclusion-based (Andersen-style) pointer
+   analysis with 1-callsite-sensitive heap cloning applied to allocation
+   wrapper functions, as configured in the paper (§4.1, citing [10]).
+
+   Nodes of the constraint graph are top-level variables, one synthetic
+   return node per function, and memory locations (Objects.loc). Points-to
+   sets contain location ids. Arrays are collapsed to one location. Indirect
+   calls are resolved on the fly, yielding the final call graph.
+
+   Assumption inherited from the TinyC lowering: pointers flow only through
+   Copy/Phi/Field_addr/Index_addr/Load/Store/Call/Ret; integer arithmetic
+   never manufactures pointers. *)
+
+open Ir.Types
+module P = Ir.Prog
+module Instr = Ir.Instr
+
+type config = {
+  field_sensitive : bool;   (* ablation knob; the paper's setting is [true] *)
+  heap_cloning : bool;      (* 1-callsite cloning of wrapper allocations *)
+  small_array_fields : int; (* extension beyond the paper (its future work
+                               names "new techniques for handling arrays"):
+                               constant-size arrays of at most this many
+                               cells are analysed per-cell instead of
+                               collapsed. 0 (the paper's setting) disables
+                               it. *)
+}
+
+let default_config =
+  { field_sensitive = true; heap_cloning = true; small_array_fields = 0 }
+
+type t = {
+  prog : P.t;
+  objects : Objects.t;
+  nvars : int;
+  ret_node : (fname, int) Hashtbl.t;
+  pts : Bitset.t array;                       (* node -> set of locations *)
+  callees : (label, fname list) Hashtbl.t;    (* resolved call graph *)
+  wrappers : (fname, label) Hashtbl.t;        (* wrapper -> its heap site *)
+  address_taken_funcs : (fname, unit) Hashtbl.t;
+  solve_iterations : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic prepasses                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let collect_address_taken (p : P.t) =
+  let taken = Hashtbl.create 16 in
+  P.iter_instrs
+    (fun _ _ i ->
+      match i.kind with
+      | Func_addr (_, f) -> Hashtbl.replace taken f ()
+      | _ -> ())
+    p;
+  taken
+
+(** Direct call sites of each function: (caller, call label, dst) list. *)
+let direct_callsites (p : P.t) =
+  let sites : (fname, (fname * label * var option) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  P.iter_instrs
+    (fun f _ i ->
+      match i.kind with
+      | Call { callee = Direct g; cdst; _ } ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt sites g) in
+        Hashtbl.replace sites g ((f.fname, i.lbl, cdst) :: prev)
+      | _ -> ())
+    p;
+  sites
+
+(** Is [f] an allocation wrapper: a non-recursive function whose every return
+    value is (through copies and phis) the result of its unique heap
+    allocation? Such wrappers get their heap object cloned per call site. *)
+let detect_wrapper (f : func) : label option =
+  let heap_sites = ref [] in
+  let self_call = ref false in
+  let defs : (var, instr_kind) Hashtbl.t = Hashtbl.create 32 in
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      (match Instr.def_of i.kind with
+      | Some v ->
+        if Hashtbl.mem defs v then Hashtbl.replace defs v (Call { cdst = None; callee = Direct "!multi"; cargs = [] })
+        else Hashtbl.replace defs v i.kind
+      | None -> ());
+      match i.kind with
+      | Alloc a when a.region = Heap -> heap_sites := (i.lbl, a.adst) :: !heap_sites
+      | Call { callee = Direct g; _ } when g = f.fname -> self_call := true
+      | _ -> ())
+    f;
+  match (!heap_sites, !self_call) with
+  | [ (site, adst) ], false ->
+    (* Trace every return operand back through copies/phis. *)
+    let ok = ref true in
+    let visited = Hashtbl.create 16 in
+    let rec trace v =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        if v <> adst then
+          match Hashtbl.find_opt defs v with
+          | Some (Copy (_, Var y)) -> trace y
+          | Some (Phi (_, ins)) ->
+            List.iter
+              (fun (_, o) ->
+                match o with Var y -> trace y | Cst _ | Undef -> ok := false)
+              ins
+          | Some (Alloc a) when a.adst = v -> ok := false (* other alloc *)
+          | _ -> ok := false
+      end
+    in
+    let has_ret = ref false in
+    Array.iter
+      (fun b ->
+        match b.term.tkind with
+        | Ret (Some (Var r)) -> has_ret := true; trace r
+        | Ret (Some (Cst _ | Undef)) | Ret None -> ok := false
+        | Br _ | Jmp _ -> ())
+      f.blocks;
+    if !ok && !has_ret then Some site else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Object enumeration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_objects (cfg : config) (p : P.t) ~wrappers ~callsites ~taken :
+    Objects.t =
+  let t = Objects.create () in
+  List.iter
+    (fun (g : global) ->
+      let onfields, oarray =
+        match g.gsize with
+        | Fields n -> ((if cfg.field_sensitive then n else 1), false)
+        | Array_of (Cst n)
+          when cfg.field_sensitive && n >= 2 && n <= cfg.small_array_fields ->
+          (n, false)
+        | Array_of _ -> (1, true)
+      in
+      ignore
+        (Objects.add_obj t ~osite:(-1) ~octx:None ~okind:Obj_global
+           ~oname:g.gname ~onfields ~oarray ~oowner:"" ~oinit:true))
+    p.globals;
+  P.iter_funcs
+    (fun f ->
+      ignore
+        (Objects.add_obj t ~osite:(-1) ~octx:None ~okind:(Obj_func f.fname)
+           ~oname:("&" ^ f.fname) ~onfields:1 ~oarray:false ~oowner:""
+           ~oinit:true))
+    p;
+  P.iter_instrs
+    (fun f _ i ->
+      match i.kind with
+      | Alloc a ->
+        let onfields, oarray =
+          match a.asize with
+          | Fields n -> ((if cfg.field_sensitive then n else 1), false)
+          | Array_of (Cst n)
+            when cfg.field_sensitive && n >= 2 && n <= cfg.small_array_fields ->
+            (n, false)
+          | Array_of _ -> (1, true)
+        in
+        let mk octx =
+          ignore
+            (Objects.add_obj t ~osite:i.lbl ~octx ~okind:
+               (match a.region with
+               | Stack -> Obj_stack
+               | Heap -> Obj_heap
+               | Global -> Obj_global)
+               ~oname:a.aname ~onfields ~oarray ~oowner:f.fname
+               ~oinit:a.initialized)
+        in
+        let cloned =
+          cfg.heap_cloning && a.region = Heap
+          && Hashtbl.find_opt wrappers f.fname = Some i.lbl
+          && not (Hashtbl.mem taken f.fname)
+        in
+        if cloned then begin
+          match Hashtbl.find_opt callsites f.fname with
+          | Some ((_ :: _) as sites) ->
+            List.iter (fun (_, l, _) -> mk (Some l)) sites
+          | Some [] | None -> mk None
+        end
+        else mk None
+      | _ -> ())
+    p;
+  Objects.freeze t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Constraint solving                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type gep = Gfield of int | Gindex of int option
+
+let run ?(config = default_config) (p : P.t) : t =
+  let taken = collect_address_taken p in
+  let callsites = direct_callsites p in
+  let wrappers = Hashtbl.create 8 in
+  P.iter_funcs
+    (fun f ->
+      match detect_wrapper f with
+      | Some site -> Hashtbl.replace wrappers f.fname site
+      | None -> ())
+    p;
+  let objects = enumerate_objects config p ~wrappers ~callsites ~taken in
+  let nvars = P.nvars p in
+  let ret_node = Hashtbl.create 16 in
+  let next = ref nvars in
+  P.iter_funcs
+    (fun f ->
+      Hashtbl.replace ret_node f.fname !next;
+      incr next)
+    p;
+  let loc_node l = !next + l in
+  let nnodes = !next + Objects.nlocs objects in
+  let pts = Array.init nnodes (fun _ -> Bitset.create ()) in
+  let pts_done = Array.init nnodes (fun _ -> Bitset.create ()) in
+  let copy_succs : int list array = Array.make nnodes [] in
+  let edge_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* Per-variable complex constraints. *)
+  let load_dsts : (var, var list ref) Hashtbl.t = Hashtbl.create 64 in
+  let store_srcs : (var, var list ref) Hashtbl.t = Hashtbl.create 64 in
+  let geps : (var, (gep * var) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let icalls : (var, (label * var option * operand list) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let callees : (label, fname list) Hashtbl.t = Hashtbl.create 64 in
+  let bound : (label * fname, unit) Hashtbl.t = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let on_list = Array.make nnodes false in
+  let enqueue n =
+    if not on_list.(n) then begin
+      on_list.(n) <- true;
+      Queue.push n worklist
+    end
+  in
+  let add_to n l = if Bitset.add pts.(n) l then enqueue n in
+  let add_edge a b =
+    if a <> b && not (Hashtbl.mem edge_seen (a, b)) then begin
+      Hashtbl.replace edge_seen (a, b) ();
+      copy_succs.(a) <- b :: copy_succs.(a);
+      if Bitset.union_into ~src:pts.(a) ~dst:pts.(b) then enqueue b
+    end
+  in
+  let push_multi tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.replace tbl k (ref [ v ])
+  in
+  let operand_edge o dst =
+    match o with Var v -> add_edge v dst | Cst _ | Undef -> ()
+  in
+  let add_callee lbl f =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt callees lbl) in
+    if not (List.mem f prev) then Hashtbl.replace callees lbl (f :: prev)
+  in
+  let bind_call lbl (callee : func) dst args =
+    if not (Hashtbl.mem bound (lbl, callee.fname)) then begin
+      Hashtbl.replace bound (lbl, callee.fname) ();
+      add_callee lbl callee.fname;
+      (try
+         List.iter2 (fun a prm -> operand_edge a prm) args callee.params
+       with Invalid_argument _ -> ());
+      match dst with
+      | Some x -> add_edge (Hashtbl.find ret_node callee.fname) x
+      | None -> ()
+    end
+  in
+  (* Seed constraints. *)
+  P.iter_instrs
+    (fun _ _ i ->
+      match i.kind with
+      | Alloc _ ->
+        List.iter
+          (fun oid -> add_to (Instr.def_of i.kind |> Option.get) (Objects.loc objects oid 0))
+          (Objects.objs_of_site objects i.lbl)
+      | Global_addr (x, g) ->
+        add_to x (Objects.loc objects (Objects.obj_of_global objects g) 0)
+      | Func_addr (x, g) -> (
+        match Objects.obj_of_func objects g with
+        | Some oid -> add_to x (Objects.loc objects oid 0)
+        | None -> ())
+      | Copy (x, o) -> operand_edge o x
+      | Phi (x, ins) -> List.iter (fun (_, o) -> operand_edge o x) ins
+      | Load (x, y) -> push_multi load_dsts y x
+      | Store (x, o) -> (
+        match o with Var y -> push_multi store_srcs x y | Cst _ | Undef -> ())
+      | Field_addr (x, y, k) -> push_multi geps y (Gfield k, x)
+      | Index_addr (x, y, o) ->
+        let idx = match o with Cst n -> Some n | Var _ | Undef -> None in
+        push_multi geps y (Gindex idx, x)
+      | Call { callee = Direct g; cdst; cargs } -> (
+        match P.find_func p g with
+        | None -> ()
+        | Some callee ->
+          let wrapper_clone =
+            if config.heap_cloning && not (Hashtbl.mem taken g) then
+              match Hashtbl.find_opt wrappers g with
+              | Some site -> Objects.obj_of_site objects site (Some i.lbl)
+              | None -> None
+            else None
+          in
+          (match wrapper_clone with
+          | Some oid ->
+            (* Clone flows directly to the call's destination; arguments
+               still flow into the wrapper. *)
+            add_callee i.lbl g;
+            (try
+               List.iter2 (fun a prm -> operand_edge a prm) cargs callee.params
+             with Invalid_argument _ -> ());
+            (match cdst with
+            | Some x -> add_to x (Objects.loc objects oid 0)
+            | None -> ())
+          | None -> bind_call i.lbl callee cdst cargs))
+      | Call { callee = Indirect v; cdst; cargs } ->
+        push_multi icalls v (i.lbl, cdst, cargs)
+      | Const _ | Unop _ | Binop _ | Output _ | Input _ -> ())
+    p;
+  (* Wrapper allocations point to all their clones so that initializing
+     stores inside the wrapper reach every clone. *)
+  P.iter_instrs
+    (fun f _ i ->
+      match i.kind with
+      | Alloc a when Hashtbl.find_opt wrappers f.fname = Some i.lbl ->
+        List.iter
+          (fun oid -> add_to a.adst (Objects.loc objects oid 0))
+          (Objects.objs_of_site objects i.lbl)
+      | _ -> ())
+    p;
+  P.iter_funcs
+    (fun f ->
+      Array.iter
+        (fun b ->
+          match b.term.tkind with
+          | Ret (Some (Var r)) -> add_edge r (Hashtbl.find ret_node f.fname)
+          | Ret _ | Br _ | Jmp _ -> ())
+        f.blocks)
+    p;
+  (* Solve. *)
+  let iterations = ref 0 in
+  while not (Queue.is_empty worklist) do
+    incr iterations;
+    let n = Queue.pop worklist in
+    on_list.(n) <- false;
+    let delta = Bitset.diff_new ~src:pts.(n) ~old:pts_done.(n) in
+    ignore (Bitset.union_into ~src:pts.(n) ~dst:pts_done.(n));
+    if delta <> [] then begin
+      (* Complex constraints apply to variable nodes only. *)
+      if n < nvars then begin
+        List.iter
+          (fun l ->
+            let lnode = loc_node l in
+            (match Hashtbl.find_opt load_dsts n with
+            | Some dsts -> List.iter (fun x -> add_edge lnode x) !dsts
+            | None -> ());
+            (match Hashtbl.find_opt store_srcs n with
+            | Some srcs -> List.iter (fun y -> add_edge y lnode) !srcs
+            | None -> ());
+            (match Hashtbl.find_opt geps n with
+            | Some gs ->
+              let oid = (Objects.loc_obj objects l).oid in
+              let field = Objects.loc_field objects l in
+              List.iter
+                (fun (g, x) ->
+                  match g with
+                  | Gfield k | Gindex (Some k) ->
+                    add_to x (Objects.loc objects oid (field + k))
+                  | Gindex None ->
+                    (* dynamic index: any cell of the object *)
+                    let o = Objects.loc_obj objects l in
+                    if o.onfields > 1 then
+                      Objects.iter_obj_locs objects oid (fun l' -> add_to x l')
+                    else add_to x (Objects.loc objects oid field))
+                !gs
+            | None -> ());
+            match Objects.func_of_obj objects (Objects.loc_obj objects l).oid with
+            | Some g -> (
+              match (Hashtbl.find_opt icalls n, P.find_func p g) with
+              | Some calls, Some callee ->
+                List.iter
+                  (fun (lbl, dst, args) ->
+                    if List.length args = List.length callee.params then
+                      bind_call lbl callee dst args)
+                  !calls
+              | _ -> ())
+            | None -> ())
+          delta
+      end;
+      List.iter
+        (fun succ ->
+          if Bitset.union_into ~src:pts.(n) ~dst:pts.(succ) then enqueue succ)
+        copy_succs.(n)
+    end
+  done;
+  {
+    prog = p;
+    objects;
+    nvars;
+    ret_node;
+    pts;
+    callees;
+    wrappers;
+    address_taken_funcs = taken;
+    solve_iterations = !iterations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let node_of_loc t l = t.nvars + Hashtbl.length t.ret_node + l
+
+let pts_var t (v : var) : Bitset.t = t.pts.(v)
+let pts_loc t (l : int) : Bitset.t = t.pts.(node_of_loc t l)
+
+let pts_var_list t v = Bitset.elements (pts_var t v)
+
+let singleton_pt t v =
+  let s = pts_var t v in
+  match Bitset.choose s with
+  | Some l when Bitset.cardinal s = 1 -> Some l
+  | _ -> None
+
+let callees_of t (lbl : label) : fname list =
+  Option.value ~default:[] (Hashtbl.find_opt t.callees lbl)
+
+(** Resolved callees of any call instruction. *)
+let call_targets t (i : instr) : fname list =
+  match i.kind with
+  | Call { callee = Direct g; _ } -> [ g ]
+  | Call { callee = Indirect _; _ } -> callees_of t i.lbl
+  | _ -> []

@@ -1,0 +1,96 @@
+(* Dense bitsets over [0, n), the points-to set representation. *)
+
+type t = { mutable words : int array }
+
+let word_bits = Sys.int_size
+
+let create () = { words = [||] }
+
+let ensure t i =
+  let w = (i / word_bits) + 1 in
+  if w > Array.length t.words then begin
+    let words = Array.make (max w (2 * Array.length t.words)) 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    t.words <- words
+  end
+
+let mem t i =
+  let w = i / word_bits in
+  w < Array.length t.words && t.words.(w) land (1 lsl (i mod word_bits)) <> 0
+
+(** [add t i] returns true if [i] was newly inserted. *)
+let add t i =
+  ensure t i;
+  let w = i / word_bits and b = 1 lsl (i mod word_bits) in
+  if t.words.(w) land b <> 0 then false
+  else begin
+    t.words.(w) <- t.words.(w) lor b;
+    true
+  end
+
+(** [union_into ~src ~dst] adds all of [src] into [dst]; returns true if [dst]
+    changed. *)
+let union_into ~src ~dst =
+  ensure dst ((Array.length src.words * word_bits) - 1 |> max 0);
+  let changed = ref false in
+  Array.iteri
+    (fun w sw ->
+      if sw <> 0 then begin
+        let dw = dst.words.(w) in
+        let nw = dw lor sw in
+        if nw <> dw then begin
+          dst.words.(w) <- nw;
+          changed := true
+        end
+      end)
+    src.words;
+  !changed
+
+let iter f t =
+  Array.iteri
+    (fun w word ->
+      if word <> 0 then
+        for b = 0 to word_bits - 1 do
+          if word land (1 lsl b) <> 0 then f ((w * word_bits) + b)
+        done)
+    t.words
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let cardinal t =
+  let n = ref 0 in
+  Array.iter
+    (fun word ->
+      let rec count w = if w = 0 then () else (incr n; count (w land (w - 1))) in
+      count word)
+    t.words;
+  !n
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let choose t =
+  let r = ref None in
+  (try iter (fun i -> r := Some i; raise Exit) t with Exit -> ());
+  !r
+
+let copy t = { words = Array.copy t.words }
+
+(** [diff_new ~src ~old] — elements of [src] not in [old]. *)
+let diff_new ~src ~old =
+  fold (fun i acc -> if mem old i then acc else i :: acc) src []
+
+let equal a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  let rec go i =
+    if i >= max la lb then true
+    else
+      let wa = if i < la then a.words.(i) else 0 in
+      let wb = if i < lb then b.words.(i) else 0 in
+      wa = wb && go (i + 1)
+  in
+  go 0

@@ -1,0 +1,28 @@
+(** Dense bitsets over [0, n), the points-to set representation. *)
+
+type t
+
+val create : unit -> t
+val mem : t -> int -> bool
+
+(** Returns true iff newly inserted. *)
+val add : t -> int -> bool
+
+(** Add all of [src] into [dst]; true iff [dst] changed. *)
+val union_into : src:t -> dst:t -> bool
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** Ascending order. *)
+val elements : t -> int list
+
+val choose : t -> int option
+val copy : t -> t
+
+(** Elements of [src] absent from [old]. *)
+val diff_new : src:t -> old:t -> int list
+
+val equal : t -> t -> bool

@@ -1,0 +1,134 @@
+(* Interprocedural MOD/REF summaries over abstract locations.
+
+   For every function: REF = locations possibly read (mu sources), MOD =
+   locations possibly written (chi targets), both including transitive callee
+   effects. Callee-local stack locations are dropped at each propagation step
+   — a callee's dead frame is invisible to its caller. Summaries feed the mu
+   and chi annotations of call sites in Memory SSA (the paper's virtual
+   input/output parameters, Fig. 4). *)
+
+open Ir.Types
+module P = Ir.Prog
+
+type summary = { mref : Bitset.t; mmod : Bitset.t }
+
+type t = {
+  prog : P.t;
+  pa : Andersen.t;
+  cg : Callgraph.t;
+  summaries : (fname, summary) Hashtbl.t;
+}
+
+let local_summary (pa : Andersen.t) (f : func) : summary =
+  let mref = Bitset.create () and mmod = Bitset.create () in
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      match i.kind with
+      | Load (_, y) -> Bitset.iter (fun l -> ignore (Bitset.add mref l)) (Andersen.pts_var pa y)
+      | Store (x, _) ->
+        (* A chi both uses and defines its location (weak-update semantics);
+           the use side is resolved per-store when building the VFG, but the
+           summary must expose both. *)
+        Bitset.iter
+          (fun l ->
+            ignore (Bitset.add mmod l);
+            ignore (Bitset.add mref l))
+          (Andersen.pts_var pa x)
+      | Alloc _ ->
+        List.iter
+          (fun oid ->
+            Objects.iter_obj_locs pa.objects oid (fun l ->
+                ignore (Bitset.add mmod l)))
+          (Objects.objs_of_site pa.objects i.lbl)
+      | Const _ | Copy _ | Unop _ | Binop _ | Field_addr _ | Index_addr _
+      | Global_addr _ | Func_addr _ | Call _ | Phi _ | Output _ | Input _ ->
+        ())
+    f;
+  { mref; mmod }
+
+(** Drop [callee]-owned stack locations when lifting its summary to a caller —
+    unless the callee is recursive, in which case an older activation's frame
+    can be live across the call and must stay visible. *)
+let lift_into ?(callee_recursive = false) (objects : Objects.t)
+    ~(callee : fname) ~(src : Bitset.t) ~(dst : Bitset.t) : bool =
+  Bitset.fold
+    (fun l changed ->
+      let o = Objects.loc_obj objects l in
+      let local_stack =
+        o.okind = Obj_stack && o.oowner = callee && not callee_recursive
+      in
+      if local_stack then changed else Bitset.add dst l || changed)
+    src false
+
+let compute (p : P.t) (pa : Andersen.t) (cg : Callgraph.t) : t =
+  let summaries = Hashtbl.create 16 in
+  P.iter_funcs (fun f -> Hashtbl.replace summaries f.fname (local_summary pa f)) p;
+  (* Bottom-up over the SCC condensation; iterate inside each SCC. *)
+  Array.iter
+    (fun comp ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun fname ->
+            match P.find_func p fname with
+            | None -> ()
+            | Some f ->
+              let s = Hashtbl.find summaries fname in
+              Ir.Func.iter_instrs
+                (fun _ i ->
+                  match i.kind with
+                  | Call _ ->
+                    List.iter
+                      (fun g ->
+                        match Hashtbl.find_opt summaries g with
+                        | Some gs ->
+                          let callee_recursive = Callgraph.is_recursive cg g in
+                          if
+                            lift_into ~callee_recursive pa.objects ~callee:g
+                              ~src:gs.mref ~dst:s.mref
+                          then changed := true;
+                          if
+                            lift_into ~callee_recursive pa.objects ~callee:g
+                              ~src:gs.mmod ~dst:s.mmod
+                          then changed := true
+                        | None -> ())
+                      (Callgraph.site_callees cg i.lbl)
+                  | _ -> ())
+                f)
+          comp
+      done)
+    (Callgraph.bottom_up_sccs cg);
+  { prog = p; pa; cg; summaries }
+
+let summary t f =
+  match Hashtbl.find_opt t.summaries f with
+  | Some s -> s
+  | None -> { mref = Bitset.create (); mmod = Bitset.create () }
+
+(** mu set of a call site: locations the callees may read, minus their own
+    frames. *)
+let call_ref t (lbl : label) : Bitset.t =
+  let acc = Bitset.create () in
+  List.iter
+    (fun g ->
+      let s = summary t g in
+      ignore
+        (lift_into
+           ~callee_recursive:(Callgraph.is_recursive t.cg g)
+           t.pa.objects ~callee:g ~src:s.mref ~dst:acc))
+    (Callgraph.site_callees t.cg lbl);
+  acc
+
+(** chi set of a call site: locations the callees may write. *)
+let call_mod t (lbl : label) : Bitset.t =
+  let acc = Bitset.create () in
+  List.iter
+    (fun g ->
+      let s = summary t g in
+      ignore
+        (lift_into
+           ~callee_recursive:(Callgraph.is_recursive t.cg g)
+           t.pa.objects ~callee:g ~src:s.mmod ~dst:acc))
+    (Callgraph.site_callees t.cg lbl);
+  acc

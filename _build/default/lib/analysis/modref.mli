@@ -1,0 +1,30 @@
+(** Interprocedural MOD/REF summaries over abstract locations.
+
+    For every function: REF = locations possibly read, MOD = locations
+    possibly written, both including transitive callee effects. A
+    non-recursive callee's own stack locations are dropped when lifting its
+    summary to a caller (its frame is dead there). Summaries feed the mu
+    and chi annotations of call sites in Memory SSA — the paper's virtual
+    input/output parameters (Fig. 4). *)
+
+open Ir.Types
+
+type summary = { mref : Bitset.t; mmod : Bitset.t }
+
+type t = {
+  prog : Ir.Prog.t;
+  pa : Andersen.t;
+  cg : Callgraph.t;
+  summaries : (fname, summary) Hashtbl.t;
+}
+
+val compute : Ir.Prog.t -> Andersen.t -> Callgraph.t -> t
+
+(** Summary of one function (empty for unknown names). *)
+val summary : t -> fname -> summary
+
+(** mu set of a call site: locations its callees may read. *)
+val call_ref : t -> label -> Bitset.t
+
+(** chi set of a call site: locations its callees may write. *)
+val call_mod : t -> label -> Bitset.t

@@ -1,0 +1,116 @@
+(* Abstract memory objects and locations.
+
+   An object abstracts the memory created at an allocation site (possibly
+   cloned per call site for heap-allocation wrappers, "1-callsite-sensitive
+   heap cloning"), a global, or a function (for function pointers). A
+   *location* — the paper's address-taken variable rho in Var_AT — is an
+   (object, field) pair; arrays are collapsed to a single location ("arrays
+   are treated as a whole"). Locations are densely numbered so points-to sets
+   are bitsets. *)
+
+open Ir.Types
+
+(* Reuse the growable vector from the IR library. *)
+module Vec = Ir.Vec
+
+type objkind = Obj_stack | Obj_heap | Obj_global | Obj_func of fname
+
+type obj = {
+  oid : int;
+  osite : label;            (* allocation-site label; -1 for globals/functions *)
+  octx : label option;      (* cloning context: the wrapper call site *)
+  okind : objkind;
+  oname : string;
+  onfields : int;           (* 1 for arrays and scalars *)
+  oarray : bool;
+  oowner : fname;           (* function owning a stack object; "" otherwise *)
+  oinit : bool;             (* alloc_T (true) or alloc_F *)
+}
+
+type t = {
+  objs : obj Vec.t;
+  mutable locbase : int array;    (* oid -> first location id; set by freeze *)
+  mutable nlocs : int;
+  by_site : (label * label option, int) Hashtbl.t;
+  by_global : (string, int) Hashtbl.t;
+  by_func : (fname, int) Hashtbl.t;
+  mutable loc_obj : int array;    (* loc -> oid, set by freeze *)
+}
+
+let dummy_obj =
+  { oid = -1; osite = -1; octx = None; okind = Obj_stack; oname = "!";
+    onfields = 1; oarray = false; oowner = ""; oinit = false }
+
+let create () =
+  { objs = Vec.create ~dummy:dummy_obj; locbase = [||]; nlocs = 0;
+    by_site = Hashtbl.create 64; by_global = Hashtbl.create 16;
+    by_func = Hashtbl.create 16; loc_obj = [||] }
+
+let add_obj t ~osite ~octx ~okind ~oname ~onfields ~oarray ~oowner ~oinit =
+  let onfields = if oarray then 1 else max 1 onfields in
+  let oid = Vec.push t.objs dummy_obj in
+  Vec.set t.objs oid
+    { oid; osite; octx; okind; oname; onfields; oarray; oowner; oinit };
+  (match okind with
+  | Obj_global -> Hashtbl.replace t.by_global oname oid
+  | Obj_func f -> Hashtbl.replace t.by_func f oid
+  | Obj_stack | Obj_heap -> ());
+  if osite >= 0 then Hashtbl.replace t.by_site (osite, octx) oid;
+  oid
+
+(** Assign dense location ids once all objects exist. *)
+let freeze t =
+  let n = Vec.length t.objs in
+  t.locbase <- Array.make n 0;
+  let next = ref 0 in
+  for oid = 0 to n - 1 do
+    t.locbase.(oid) <- !next;
+    next := !next + (Vec.get t.objs oid).onfields
+  done;
+  t.nlocs <- !next;
+  t.loc_obj <- Array.make !next 0;
+  for oid = 0 to n - 1 do
+    let o = Vec.get t.objs oid in
+    for f = 0 to o.onfields - 1 do
+      t.loc_obj.(t.locbase.(oid) + f) <- oid
+    done
+  done
+
+let nobjs t = Vec.length t.objs
+let nlocs t = t.nlocs
+let obj t oid = Vec.get t.objs oid
+
+(** [loc t oid field] — the location id for field [field] of [oid], clamping
+    out-of-range fields and collapsing array objects. *)
+let loc t oid field =
+  let o = obj t oid in
+  let field = if o.oarray then 0 else max 0 (min field (o.onfields - 1)) in
+  t.locbase.(oid) + field
+
+let loc_obj t l = obj t t.loc_obj.(l)
+let loc_field t l = l - t.locbase.(t.loc_obj.(l))
+
+let objs_of_site t site = Hashtbl.fold
+    (fun (s, _) oid acc -> if s = site then oid :: acc else acc)
+    t.by_site []
+
+let obj_of_site t site octx = Hashtbl.find_opt t.by_site (site, octx)
+let obj_of_global t g = Hashtbl.find t.by_global g
+let obj_of_func t f = Hashtbl.find_opt t.by_func f
+
+let func_of_obj t oid =
+  match (obj t oid).okind with Obj_func f -> Some f | _ -> None
+
+let loc_name t l =
+  let o = loc_obj t l in
+  let f = loc_field t l in
+  let ctx = match o.octx with Some c -> Printf.sprintf "@l%d" c | None -> "" in
+  if o.onfields > 1 then Printf.sprintf "%s%s.f%d" o.oname ctx f
+  else Printf.sprintf "%s%s" o.oname ctx
+
+(** Iterate over all locations of an object. *)
+let iter_obj_locs t oid f =
+  let o = obj t oid in
+  for fl = 0 to o.onfields - 1 do
+    f (t.locbase.(oid) + fl)
+  done

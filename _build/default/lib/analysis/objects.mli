@@ -1,0 +1,69 @@
+(** Abstract memory objects and locations.
+
+    An object abstracts the memory created at an allocation site (possibly
+    cloned per call site for heap-allocation wrappers), a global, or a
+    function (for function pointers). A {e location} — the paper's
+    address-taken variable rho in Var_AT — is an (object, field) pair;
+    arrays are collapsed to a single location unless the small-array
+    extension is enabled. Locations are densely numbered so points-to sets
+    are bitsets. *)
+
+open Ir.Types
+
+type objkind = Obj_stack | Obj_heap | Obj_global | Obj_func of fname
+
+type obj = {
+  oid : int;
+  osite : label;         (** allocation-site label; -1 for globals/functions *)
+  octx : label option;   (** cloning context: the wrapper call site *)
+  okind : objkind;
+  oname : string;
+  onfields : int;        (** 1 for collapsed arrays and scalars *)
+  oarray : bool;
+  oowner : fname;        (** function owning a stack object; "" otherwise *)
+  oinit : bool;          (** alloc_T (true) or alloc_F *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_obj :
+  t ->
+  osite:label ->
+  octx:label option ->
+  okind:objkind ->
+  oname:string ->
+  onfields:int ->
+  oarray:bool ->
+  oowner:fname ->
+  oinit:bool ->
+  int
+
+(** Assign dense location ids once all objects exist. *)
+val freeze : t -> unit
+
+val nobjs : t -> int
+val nlocs : t -> int
+val obj : t -> int -> obj
+
+(** [loc t oid field] — the location id for a field, clamping out-of-range
+    fields and collapsing array objects. *)
+val loc : t -> int -> int -> int
+
+val loc_obj : t -> int -> obj
+val loc_field : t -> int -> int
+
+(** All clones of an allocation site. *)
+val objs_of_site : t -> label -> int list
+
+val obj_of_site : t -> label -> label option -> int option
+val obj_of_global : t -> string -> int
+val obj_of_func : t -> fname -> int option
+val func_of_obj : t -> int -> fname option
+
+(** Display name, e.g. ["s.f2"] or ["malloc_obj@l17"]. *)
+val loc_name : t -> int -> string
+
+(** Iterate over every location of an object. *)
+val iter_obj_locs : t -> int -> (int -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/instr/compress.ml: Array Hashtbl Ir Item List Option

@@ -1,0 +1,1 @@
+lib/instr/compress.mli: Item

@@ -1,0 +1,1 @@
+lib/instr/full.ml: Array Ir Item List

@@ -1,0 +1,1 @@
+lib/instr/full.mli: Ir Item

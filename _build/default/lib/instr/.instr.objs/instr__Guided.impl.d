@@ -1,0 +1,1 @@
+lib/instr/guided.ml: Analysis Array Full Hashtbl Ir Item List Option Queue Vfg

@@ -1,0 +1,1 @@
+lib/instr/guided.mli: Item Vfg

@@ -1,0 +1,1 @@
+lib/instr/item.ml: Array Hashtbl Ir List Option Printf String

@@ -1,0 +1,1 @@
+lib/instr/item.mli: Hashtbl Ir

@@ -1,0 +1,14 @@
+(** Full shadow instrumentation — the MSan baseline (§2.2): every value is
+    shadowed, every statement gets a shadow statement, every critical
+    operation gets a check. Exactly the ⊥ rule set of Figure 7 applied to
+    every node. *)
+
+open Ir.Types
+
+(** Shadow of an operand (constants are T, undef is F). *)
+val op_shadow : operand -> Item.shadow_rhs
+
+(** Conjunction of operand shadows. *)
+val conj_of : operand list -> Item.shadow_rhs
+
+val build : Ir.Prog.t -> Item.plan

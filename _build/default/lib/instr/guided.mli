@@ -1,0 +1,23 @@
+(** Guided instrumentation — the paper's key contribution (§3.4, Figure 7).
+
+    Starting from the uses at critical operations, instrumentation-item
+    sets propagate backwards over the VFG: ⊥-nodes are instrumented as in
+    full instrumentation and pass the requirement on; ⊤-nodes whose shadow
+    can be strongly updated emit a single [sigma := T] and cut the
+    propagation; ⊤-nodes that cannot (weak/semi-strong stores, call chis,
+    memory phis, virtual parameters) pass the requirement through their
+    memory dependencies.
+
+    Opt I (value-flow simplification, §3.5.1) is folded in: a needed ⊥
+    top-level node whose must-flow closure has interior structure reads the
+    conjunction of its ⊥ sources directly. *)
+
+type options = { opt1 : bool }
+
+type result = {
+  plan : Item.plan;
+  needed_nodes : int;    (** VFG nodes reached — Table 1's %B numerator *)
+  opt1_simplified : int; (** closures simplified — Table 1's "S" column *)
+}
+
+val build : ?options:options -> Vfg.Build.t -> Vfg.Resolve.gamma -> result

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Fmt Func List Printer Printf Prog String Types

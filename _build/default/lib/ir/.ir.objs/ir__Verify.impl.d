@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Fmt Func Hashtbl Instr List Prog String Types

@@ -1,0 +1,150 @@
+(* Imperative construction of IR functions: used by the TinyC lowering, the
+   workload generator and unit tests.
+
+   A builder keeps a current block; [add] appends an instruction to it;
+   [terminate] seals it. Blocks are created with forward references so
+   structured control flow lowers naturally. *)
+
+open Types
+
+type t = {
+  prog : Prog.t;
+  fname : fname;
+  mutable params : var list;
+  mutable blocks : block list; (* reverse order of creation *)
+  mutable nblocks : int;
+  mutable cur : block option;
+}
+
+let create prog ~fname = { prog; fname; params = []; blocks = []; nblocks = 0; cur = None }
+
+let prog b = b.prog
+
+let fresh_var b name = Prog.fresh_var b.prog ~name ~owner:b.fname
+
+let mk_param b name =
+  let v = fresh_var b name in
+  b.params <- b.params @ [ v ];
+  v
+
+let temp_count = ref 0
+
+let fresh_temp b =
+  incr temp_count;
+  fresh_var b (Printf.sprintf "t%d" !temp_count)
+
+(** Create a new, empty block and return its id. It is not current yet. *)
+let new_block b : blockid =
+  let bid = b.nblocks in
+  b.nblocks <- bid + 1;
+  let blk =
+    {
+      bid;
+      instrs = [];
+      term = { tlbl = -1; tkind = Ret None } (* placeholder until sealed *);
+    }
+  in
+  b.blocks <- blk :: b.blocks;
+  bid
+
+let find_block b bid = List.find (fun blk -> blk.bid = bid) b.blocks
+
+(** Make [bid] the block instructions are appended to. *)
+let switch_to b bid = b.cur <- Some (find_block b bid)
+
+let current b =
+  match b.cur with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no current block"
+
+(** True when the current block has already been sealed by [terminate]. *)
+let terminated b = (current b).term.tlbl >= 0
+
+let add b kind =
+  let blk = current b in
+  assert (blk.term.tlbl < 0);
+  let lbl = Prog.fresh_label b.prog in
+  blk.instrs <- blk.instrs @ [ { lbl; kind } ];
+  lbl
+
+let terminate b tkind =
+  let blk = current b in
+  assert (blk.term.tlbl < 0);
+  blk.term <- { tlbl = Prog.fresh_label b.prog; tkind }
+
+(* Convenience wrappers returning the defined variable. *)
+
+let const b n =
+  let x = fresh_temp b in
+  ignore (add b (Const (x, n)));
+  x
+
+let copy b o =
+  let x = fresh_temp b in
+  ignore (add b (Copy (x, o)));
+  x
+
+let binop b op o1 o2 =
+  let x = fresh_temp b in
+  ignore (add b (Binop (x, op, o1, o2)));
+  x
+
+let unop b op o =
+  let x = fresh_temp b in
+  ignore (add b (Unop (x, op, o)));
+  x
+
+let alloc b ~name ~region ~initialized ~asize =
+  let x = fresh_var b ("&" ^ name) in
+  ignore (add b (Alloc { adst = x; aname = name; region; initialized; asize }));
+  x
+
+let load b y =
+  let x = fresh_temp b in
+  ignore (add b (Load (x, y)));
+  x
+
+let store b x o = ignore (add b (Store (x, o)))
+
+let field_addr b y k =
+  let x = fresh_temp b in
+  ignore (add b (Field_addr (x, y, k)));
+  x
+
+let index_addr b y o =
+  let x = fresh_temp b in
+  ignore (add b (Index_addr (x, y, o)));
+  x
+
+let global_addr b g =
+  let x = fresh_temp b in
+  ignore (add b (Global_addr (x, g)));
+  x
+
+let func_addr b f =
+  let x = fresh_temp b in
+  ignore (add b (Func_addr (x, f)));
+  x
+
+let call b ~dst ~callee ~args = ignore (add b (Call { cdst = dst; callee; cargs = args }))
+
+let call_val b ~callee ~args =
+  let x = fresh_temp b in
+  call b ~dst:(Some x) ~callee ~args;
+  x
+
+(** Seal the function and register it in the program. All blocks must be
+    terminated. *)
+let finish b : func =
+  let blocks = Array.of_list (List.rev b.blocks) in
+  Array.iteri
+    (fun i blk ->
+      assert (blk.bid = i);
+      if blk.term.tlbl < 0 then
+        invalid_arg
+          (Printf.sprintf "Builder.finish: block b%d of %s not terminated"
+             blk.bid b.fname))
+    blocks;
+  let f = { fname = b.fname; params = b.params; blocks } in
+  Prog.add_func b.prog f;
+  f

@@ -1,0 +1,48 @@
+(* Graphviz export of control-flow graphs, for debugging lowering and the
+   optimizer: `usherc analyze prog.tc --dump cfg | dot -Tsvg`. *)
+
+open Types
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\l"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let func (p : Prog.t) ppf (f : func) =
+  Fmt.pf ppf "subgraph cluster_%s {@." (escape f.fname);
+  Fmt.pf ppf "  label=\"%s\";@." (escape f.fname);
+  Array.iter
+    (fun (b : block) ->
+      let body =
+        String.concat "\\l"
+          (List.map
+             (fun i -> escape (Printf.sprintf "l%d: %s" i.lbl (Printer.instr_to_string p i)))
+             b.instrs
+          @ [ escape
+                (Printf.sprintf "l%d: %s" b.term.tlbl
+                   (Fmt.str "%a" (Printer.term_kind p) b.term.tkind)) ])
+      in
+      Fmt.pf ppf "  %s_b%d [shape=box, fontname=monospace, label=\"b%d:\\l%s\\l\"];@."
+        (escape f.fname) b.bid b.bid body;
+      List.iteri
+        (fun i s ->
+          let style = if i = 0 then "" else " [style=dashed]" in
+          Fmt.pf ppf "  %s_b%d -> %s_b%d%s;@." (escape f.fname) b.bid
+            (escape f.fname) s style)
+        (Func.succs f b.bid))
+    f.blocks;
+  Fmt.pf ppf "}@."
+
+(** The whole program's CFGs as one dot digraph. *)
+let prog ppf (p : Prog.t) =
+  Fmt.pf ppf "digraph cfg {@.";
+  Prog.iter_funcs (func p ppf) p;
+  Fmt.pf ppf "}@."
+
+let prog_to_string (p : Prog.t) = Fmt.str "%a" prog p

@@ -1,0 +1,5 @@
+(** Graphviz export of control-flow graphs. *)
+
+val func : Prog.t -> Format.formatter -> Types.func -> unit
+val prog : Format.formatter -> Prog.t -> unit
+val prog_to_string : Prog.t -> string

@@ -1,0 +1,76 @@
+(* Function-level structural queries: successors, predecessors, traversals. *)
+
+open Types
+
+let nblocks (f : func) = Array.length f.blocks
+
+let block (f : func) (b : blockid) = f.blocks.(b)
+
+let succs (f : func) (b : blockid) = Instr.term_succs f.blocks.(b).term.tkind
+
+let preds (f : func) : blockid list array =
+  let n = nblocks f in
+  let preds = Array.make n [] in
+  for b = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- b :: preds.(s)) (succs f b)
+  done;
+  Array.map List.rev preds
+
+(** Blocks in reverse postorder from the entry; unreachable blocks excluded. *)
+let reverse_postorder (f : func) : blockid list =
+  let n = nblocks f in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (succs f b);
+      order := b :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  !order
+
+let reachable (f : func) : bool array =
+  let n = nblocks f in
+  let visited = Array.make n false in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (succs f b)
+    end
+  in
+  if n > 0 then dfs 0;
+  visited
+
+let iter_instrs g (f : func) =
+  Array.iter (fun b -> List.iter (fun i -> g b i) b.instrs) f.blocks
+
+(** All variables defined in the function (params included). *)
+let defined_vars (f : func) : var list =
+  let defs = ref (List.rev f.params) in
+  iter_instrs
+    (fun _ i ->
+      match Instr.def_of i.kind with Some v -> defs := v :: !defs | None -> ())
+    f;
+  List.rev !defs
+
+(** Find the instruction carrying [lbl], if any. *)
+let find_instr (f : func) (lbl : label) : (block * instr) option =
+  let found = ref None in
+  Array.iter
+    (fun b ->
+      List.iter (fun i -> if i.lbl = lbl then found := Some (b, i)) b.instrs)
+    f.blocks;
+  !found
+
+(** Map from label to (block id, position) for instructions, and block id for
+    terminators, across one function. *)
+let label_index (f : func) : (label, [ `Instr of blockid * int | `Term of blockid ]) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      List.iteri (fun i ins -> Hashtbl.replace tbl ins.lbl (`Instr (b.bid, i))) b.instrs;
+      Hashtbl.replace tbl b.term.tlbl (`Term b.bid))
+    f.blocks;
+  tbl

@@ -1,0 +1,21 @@
+(** Growable arrays, used for the program-wide variable and label tables. *)
+
+type 'a t
+
+(** [create ~dummy] — [dummy] fills unused capacity and is never observable. *)
+val create : dummy:'a -> 'a t
+
+val length : 'a t -> int
+
+(** Append; returns the new element's index. *)
+val push : 'a t -> 'a -> int
+
+(** @raise Invalid_argument when out of range. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument when out of range. *)
+val set : 'a t -> int -> 'a -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val to_array : 'a t -> 'a array
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

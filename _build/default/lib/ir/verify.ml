@@ -1,0 +1,94 @@
+(* Well-formedness checks. [check] validates structural invariants; [check_ssa]
+   additionally validates the single-assignment discipline once mem2reg has
+   run. Raises [Ill_formed] with a diagnostic on violation. *)
+
+open Types
+
+exception Ill_formed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let check_func (p : Prog.t) (f : func) =
+  let n = Array.length f.blocks in
+  if n = 0 then fail "%s: no blocks" f.fname;
+  Array.iteri
+    (fun i b ->
+      if b.bid <> i then fail "%s: block id %d at index %d" f.fname b.bid i;
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            fail "%s: b%d jumps to nonexistent b%d" f.fname b.bid s)
+        (Instr.term_succs b.term.tkind);
+      List.iter
+        (fun ins ->
+          List.iter
+            (fun v ->
+              if v < 0 || v >= Prog.nvars p then
+                fail "%s: l%d uses unknown variable %d" f.fname ins.lbl v)
+            (Instr.uses_of ins.kind))
+        b.instrs)
+    f.blocks;
+  (* Calls must target known functions with matching arity. *)
+  Func.iter_instrs
+    (fun _ ins ->
+      match ins.kind with
+      | Call { callee = Direct g; cargs; _ } -> (
+        match Prog.find_func p g with
+        | None -> fail "%s: call to unknown function %s" f.fname g
+        | Some callee ->
+          if List.length cargs <> List.length callee.params then
+            fail "%s: call to %s with %d args (expected %d)" f.fname g
+              (List.length cargs)
+              (List.length callee.params))
+      | _ -> ())
+    f
+
+let check (p : Prog.t) =
+  if Prog.find_func p "main" = None then fail "no main function";
+  Prog.iter_funcs (check_func p) p
+
+(* SSA checks: unique defs; every phi has one operand per predecessor; every
+   use is dominated by its definition. *)
+
+let check_ssa_func (p : Prog.t) (f : func) =
+  let preds = Func.preds f in
+  let def_block : (var, blockid) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace def_block v 0) f.params;
+  Func.iter_instrs
+    (fun b ins ->
+      match Instr.def_of ins.kind with
+      | Some v ->
+        if Hashtbl.mem def_block v then
+          fail "%s: variable %s defined twice" f.fname (Prog.var_name p v);
+        Hashtbl.replace def_block v b.bid
+      | None -> ())
+    f;
+  Func.iter_instrs
+    (fun b ins ->
+      match ins.kind with
+      | Phi (_, ins_list) ->
+        let expected = List.sort compare preds.(b.bid) in
+        let got = List.sort compare (List.map fst ins_list) in
+        if expected <> got then
+          fail "%s: phi in b%d has arms %s but preds %s" f.fname b.bid
+            (String.concat "," (List.map string_of_int got))
+            (String.concat "," (List.map string_of_int expected))
+      | _ -> ())
+    f;
+  (* Dominance of uses: a lightweight check via reverse-postorder dataflow on
+     "definitely assigned" sets would duplicate the Dominance module (which
+     lives above this library), so we only verify that every used variable has
+     some definition in this function or is a parameter/global-owned var. *)
+  Func.iter_instrs
+    (fun _ ins ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem def_block v) then
+            fail "%s: l%d uses %s which has no definition here" f.fname ins.lbl
+              (Prog.var_name p v))
+        (Instr.uses_of ins.kind))
+    f
+
+let check_ssa (p : Prog.t) =
+  check p;
+  Prog.iter_funcs (check_ssa_func p) p

@@ -1,0 +1,13 @@
+(** Well-formedness checks for IR programs. *)
+
+(** Raised with a diagnostic when a check fails. *)
+exception Ill_formed of string
+
+(** Structural invariants: a [main] exists, block ids are dense, branch
+    targets exist, calls match arity, used variables exist. *)
+val check : Prog.t -> unit
+
+(** [check] plus the single-assignment discipline: unique definitions, phi
+    arms matching predecessors, every use locally defined. Valid after
+    mem2reg and after every optimization pass. *)
+val check_ssa : Prog.t -> unit

@@ -1,0 +1,68 @@
+(** Memory SSA construction (§3.1 of the paper, following Chow et al.'s
+    mu/chi form).
+
+    Address-taken variables (abstract locations) are annotated onto the IR
+    as side tables rather than rewritten into it:
+
+    - every load carries [mu(rho)] for each location its pointer may read;
+    - every store carries [rho_m := chi(rho_n)] for each location it may
+      write (a chi both uses and defines its location);
+    - every allocation carries a chi per location of the new object;
+    - every call carries mu(REF(callee)) and chi(MOD(callee)) — the virtual
+      input and output parameters;
+    - the function entry defines version 1 of every location visible on
+      entry; every [ret] records the current version of each output
+      location.
+
+    Versions are per (function, location), assigned by the standard SSA
+    renaming walk with phi placement at iterated dominance frontiers. The
+    runtime never sees memory versions (shadow memory is keyed by address);
+    they exist purely to give the VFG its def-use edges. *)
+
+open Ir.Types
+
+type loc = int
+
+type memphi = {
+  mloc : loc;
+  mutable mver : int;
+  mutable margs : (blockid * int) list;
+}
+
+type func_ssa = {
+  fname : fname;
+  tracked : loc list;        (** every location this function touches *)
+  entry_locs : loc list;     (** virtual input parameters *)
+  out_locs : loc list;       (** virtual output parameters *)
+  mu : (label, (loc * int) list) Hashtbl.t;
+  chi : (label, (loc * int * int) list) Hashtbl.t;  (** (rho, new, old) *)
+  phis : (blockid, memphi list) Hashtbl.t;
+  ret_vers : (label, (loc * int) list) Hashtbl.t;
+  nversions : (loc, int) Hashtbl.t;
+}
+
+type t = {
+  prog : Ir.Prog.t;
+  pa : Analysis.Andersen.t;
+  cg : Analysis.Callgraph.t;
+  mr : Analysis.Modref.t;
+  funcs : (fname, func_ssa) Hashtbl.t;
+}
+
+val build :
+  Ir.Prog.t -> Analysis.Andersen.t -> Analysis.Callgraph.t ->
+  Analysis.Modref.t -> t
+
+val func_ssa : t -> fname -> func_ssa
+
+(** Annotations of one statement (empty when absent). *)
+val mu_at : func_ssa -> label -> (loc * int) list
+
+val chi_at : func_ssa -> label -> (loc * int * int) list
+val phis_at : func_ssa -> blockid -> memphi list
+val ret_vers_at : func_ssa -> label -> (loc * int) list
+
+(** Fig. 5-style dump, for tests and the CLI. *)
+val pp_func : t -> Format.formatter -> func -> unit
+
+val to_string : t -> string

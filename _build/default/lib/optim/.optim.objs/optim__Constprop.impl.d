@@ -1,0 +1,1 @@
+lib/optim/constprop.ml: Array Hashtbl Ir List Simplify_cfg

@@ -1,0 +1,1 @@
+lib/optim/constprop.mli: Ir

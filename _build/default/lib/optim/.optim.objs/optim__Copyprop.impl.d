@@ -1,0 +1,1 @@
+lib/optim/copyprop.ml: Array Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/optim/copyprop.mli: Ir

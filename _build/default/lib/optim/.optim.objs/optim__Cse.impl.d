@@ -1,0 +1,1 @@
+lib/optim/cse.ml: Analysis Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/optim/cse.mli: Ir

@@ -1,0 +1,1 @@
+lib/optim/dce.ml: Array Hashtbl Ir List Option Queue

@@ -1,0 +1,1 @@
+lib/optim/inline.ml: Array Hashtbl Ir List Option

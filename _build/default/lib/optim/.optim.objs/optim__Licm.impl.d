@@ -1,0 +1,1 @@
+lib/optim/licm.ml: Analysis Array Hashtbl Ir List

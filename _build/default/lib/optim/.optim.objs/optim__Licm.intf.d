@@ -1,0 +1,1 @@
+lib/optim/licm.mli: Ir

@@ -1,0 +1,1 @@
+lib/optim/mem2reg.ml: Analysis Array Hashtbl Ir List Queue Simplify_cfg

@@ -1,0 +1,1 @@
+lib/optim/mem2reg.mli: Ir

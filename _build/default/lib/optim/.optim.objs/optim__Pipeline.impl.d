@@ -1,0 +1,1 @@
+lib/optim/pipeline.ml: Constprop Copyprop Cse Dce Inline Ir Licm Mem2reg Simplify_cfg

@@ -1,0 +1,1 @@
+lib/optim/simplify_cfg.ml: Array Ir List

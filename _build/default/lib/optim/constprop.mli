@@ -1,0 +1,9 @@
+(** Sparse constant propagation and folding on SSA, with branch folding and
+    edge-aware phi pruning. Arithmetic matches the interpreter exactly
+    (division by zero yields zero), so folding never changes behaviour. *)
+
+val eval_binop : Ir.Types.binop -> int -> int -> int
+val eval_unop : Ir.Types.unop -> int -> int
+
+val run_func : Ir.Types.func -> bool
+val run : Ir.Prog.t -> bool

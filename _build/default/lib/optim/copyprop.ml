@@ -1,0 +1,47 @@
+(* SSA copy propagation: uses of [x] where [x := y] are replaced by [y]
+   (safe in SSA: y's definition dominates the copy, which dominates x's
+   uses). Single-arm phis are treated as copies. Dead copies are left for
+   DCE. *)
+
+open Ir.Types
+module P = Ir.Prog
+module Instr = Ir.Instr
+
+let run_func (f : func) : bool =
+  let changed = ref false in
+  let target : (var, operand) Hashtbl.t = Hashtbl.create 64 in
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      match i.kind with
+      | Copy (x, o) -> Hashtbl.replace target x o
+      | Phi (x, [ (_, o) ]) -> Hashtbl.replace target x o
+      | _ -> ())
+    f;
+  let rec resolve o =
+    match o with
+    | Var v -> (
+      match Hashtbl.find_opt target v with
+      | Some o' when o' <> Var v -> resolve o'
+      | _ -> o)
+    | Cst _ | Undef -> o
+  in
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      let k' = Instr.map_operands resolve i.kind in
+      if k' <> i.kind then begin
+        i.kind <- k';
+        changed := true
+      end)
+    f;
+  Array.iter
+    (fun b ->
+      let t' = Instr.map_term_operands resolve b.term.tkind in
+      if t' <> b.term.tkind then begin
+        b.term.tkind <- t';
+        changed := true
+      end)
+    f.blocks;
+  !changed
+
+let run (p : P.t) : bool =
+  P.fold_funcs (fun acc f -> run_func f || acc) false p

@@ -1,0 +1,70 @@
+(* Dominator-scoped common-subexpression elimination (a lightweight GVN):
+   walking the dominator tree with a scoped table of available pure
+   expressions, later recomputations are rewritten to copies of the earlier
+   result. Loads are *not* CSE'd (memory may change between them); address
+   computations, arithmetic and constants are. *)
+
+open Ir.Types
+module P = Ir.Prog
+
+type key =
+  | Kconst of int
+  | Kunop of unop * operand
+  | Kbinop of binop * operand * operand
+  | Kfield of var * int
+  | Kindex of var * operand
+  | Kglobal of string
+  | Kfunc of fname
+
+let key_of (k : instr_kind) : key option =
+  match k with
+  | Const (_, n) -> Some (Kconst n)
+  | Unop (_, u, o) -> Some (Kunop (u, o))
+  | Binop (_, b, o1, o2) ->
+    (* Normalize commutative operands. *)
+    let commutative = match b with
+      | Add | Mul | And | Or | Xor | Eq | Ne -> true
+      | Sub | Div | Rem | Shl | Shr | Lt | Le | Gt | Ge -> false
+    in
+    if commutative && compare o2 o1 < 0 then Some (Kbinop (b, o2, o1))
+    else Some (Kbinop (b, o1, o2))
+  | Field_addr (_, y, n) -> Some (Kfield (y, n))
+  | Index_addr (_, y, o) -> Some (Kindex (y, o))
+  | Global_addr (_, g) -> Some (Kglobal g)
+  | Func_addr (_, f) -> Some (Kfunc f)
+  | Copy _ | Alloc _ | Load _ | Store _ | Call _ | Phi _ | Output _ | Input _ ->
+    None
+
+let run_func (f : func) : bool =
+  let changed = ref false in
+  let dom = Analysis.Dominance.compute f in
+  let avail : (key, var) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk b =
+    let added = ref [] in
+    List.iter
+      (fun i ->
+        match key_of i.kind with
+        | Some key -> (
+          match Hashtbl.find_opt avail key with
+          | Some earlier -> (
+            match Ir.Instr.def_of i.kind with
+            | Some d ->
+              i.kind <- Copy (d, Var earlier);
+              changed := true
+            | None -> ())
+          | None -> (
+            match Ir.Instr.def_of i.kind with
+            | Some d ->
+              Hashtbl.add avail key d;
+              added := key :: !added
+            | None -> ()))
+        | None -> ())
+      f.blocks.(b).instrs;
+    List.iter walk (Analysis.Dominance.children dom b);
+    List.iter (fun k -> Hashtbl.remove avail k) !added
+  in
+  if Array.length f.blocks > 0 then walk 0;
+  !changed
+
+let run (p : P.t) : bool =
+  P.fold_funcs (fun acc f -> run_func f || acc) false p

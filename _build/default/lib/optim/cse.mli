@@ -1,0 +1,6 @@
+(** Dominator-scoped common-subexpression elimination (a lightweight GVN):
+    later recomputations of available pure expressions become copies.
+    Loads are not CSE'd (memory may change between them). *)
+
+val run_func : Ir.Types.func -> bool
+val run : Ir.Prog.t -> bool

@@ -1,0 +1,63 @@
+(* Dead-code elimination on SSA: pure instructions whose results never reach
+   a side-effecting instruction or terminator are deleted. Dead loads are
+   removed too — exactly the mechanism by which LLVM's higher optimization
+   levels "hide some uses of undefined values" (§4.6): a deleted load takes
+   its critical-operation check with it. *)
+
+open Ir.Types
+module P = Ir.Prog
+module Instr = Ir.Instr
+
+let run_func (f : func) : bool =
+  let live : (var, unit) Hashtbl.t = Hashtbl.create 64 in
+  let def_uses : (var, var list) Hashtbl.t = Hashtbl.create 64 in
+  (* def -> variables it uses *)
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      match Instr.def_of i.kind with
+      | Some d -> Hashtbl.replace def_uses d (Instr.uses_of i.kind)
+      | None -> ())
+    f;
+  let work = Queue.create () in
+  let mark v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      Queue.push v work
+    end
+  in
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      if Instr.has_side_effect i.kind then begin
+        List.iter mark (Instr.uses_of i.kind);
+        match Instr.def_of i.kind with Some d -> mark d | None -> ()
+      end)
+    f;
+  Array.iter
+    (fun b -> List.iter mark (Instr.term_uses b.term.tkind))
+    f.blocks;
+  while not (Queue.is_empty work) do
+    let v = Queue.pop work in
+    List.iter mark (Option.value ~default:[] (Hashtbl.find_opt def_uses v))
+  done;
+  let changed = ref false in
+  Array.iter
+    (fun b ->
+      let keep =
+        List.filter
+          (fun i ->
+            Instr.has_side_effect i.kind
+            ||
+            match Instr.def_of i.kind with
+            | Some d -> Hashtbl.mem live d
+            | None -> true)
+          b.instrs
+      in
+      if List.length keep <> List.length b.instrs then begin
+        b.instrs <- keep;
+        changed := true
+      end)
+    f.blocks;
+  !changed
+
+let run (p : P.t) : bool =
+  P.fold_funcs (fun acc f -> run_func f || acc) false p

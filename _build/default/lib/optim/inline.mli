@@ -1,0 +1,15 @@
+(** Iterative inlining of functions that take function-pointer arguments —
+    the "I" in the paper's O0+IM setting, simplifying the call graph before
+    pointer analysis. Directly recursive and oversized callees are
+    excluded. Runs before mem2reg (no phis yet); return values travel
+    through a fresh stack slot that mem2reg later promotes. *)
+
+(** Is some parameter used as an indirect-call target (through copies and
+    the parameter's spill slot)? *)
+val has_fp_param : Ir.Types.func -> bool
+
+val is_directly_recursive : Ir.Types.func -> bool
+
+type stats = { inlined_calls : int; rounds : int }
+
+val run : Ir.Prog.t -> stats

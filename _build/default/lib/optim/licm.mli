@@ -1,0 +1,5 @@
+(** Loop-invariant code motion for pure instructions (O2): natural loops
+    with a unique entry edge get a preheader; invariant pure non-load
+    instructions hoist into it. *)
+
+val run : Ir.Prog.t -> bool

@@ -1,0 +1,32 @@
+(* Optimization pipelines mirroring the paper's three configurations:
+
+   - O0+IM: inlining of function-pointer-argument functions, then mem2reg —
+     "an excellent setting for obtaining meaningful stack traces" (§4.3);
+   - O1: O0+IM plus constant propagation, copy propagation, CSE and DCE;
+   - O2: O1 plus LICM and a second round of the scalar pass suite.
+
+   All pipelines leave the program in SSA form. *)
+
+type level = O0_IM | O1 | O2
+
+let level_to_string = function O0_IM -> "O0+IM" | O1 -> "O1" | O2 -> "O2"
+
+let scalar_round (p : Ir.Prog.t) : bool =
+  let c1 = Constprop.run p in
+  let c2 = Copyprop.run p in
+  let c3 = Cse.run p in
+  let c4 = Dce.run p in
+  c1 || c2 || c3 || c4
+
+let run (level : level) (p : Ir.Prog.t) : unit =
+  ignore (Inline.run p);
+  Simplify_cfg.run p;
+  ignore (Mem2reg.run p);
+  (match level with
+  | O0_IM -> ()
+  | O1 -> ignore (scalar_round p)
+  | O2 ->
+    ignore (scalar_round p);
+    ignore (Licm.run p);
+    ignore (scalar_round p));
+  Ir.Verify.check_ssa p

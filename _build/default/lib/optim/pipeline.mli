@@ -1,0 +1,14 @@
+(** Optimization pipelines mirroring the paper's three configurations:
+    O0+IM (inlining of function-pointer-argument functions + mem2reg),
+    O1 (plus constant propagation, copy propagation, CSE, DCE) and
+    O2 (plus LICM and a second scalar round). All pipelines leave the
+    program in SSA form (verified). *)
+
+type level = O0_IM | O1 | O2
+
+val level_to_string : level -> string
+
+(** One round of the scalar passes; true iff anything changed. *)
+val scalar_round : Ir.Prog.t -> bool
+
+val run : level -> Ir.Prog.t -> unit

@@ -1,0 +1,5 @@
+(** CFG cleanup: drop unreachable blocks, renumbering the rest and patching
+    branch targets and phi arms. *)
+
+val remove_unreachable : Ir.Types.func -> Ir.Types.func
+val run : Ir.Prog.t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Counters Fmt Hashtbl Instr Ir List Option

@@ -1,0 +1,81 @@
+(* The abstract-cycle cost model substituting for wall-clock measurements on
+   the authors' x86 testbed (see DESIGN.md §2 and §7).
+
+   Slowdown is a ratio of weighted dynamic operation counts. Weights are
+   fixed, global constants: per-class costs for the base program, per-class
+   costs for shadow operations (shadow memory accesses are costlier than
+   register ops, reflecting MSan's masked offset-based addressing), plus one
+   calibration knob, [pressure], modelling the register-pressure and
+   code-bloat penalty dense instrumentation inflicts on the *base* code. It
+   scales with instrumentation density and was fixed once against the
+   paper's MSan average of ~300% at O0+IM; it is never varied per benchmark
+   or per analysis variant. *)
+
+type weights = {
+  w_alu : float;
+  w_mem : float;
+  w_branch : float;
+  w_call : float;
+  w_alloc : float;
+  w_alloc_cell : float;
+  w_io : float;
+  w_sh_reg : float;        (* per shadow register write *)
+  w_sh_reg_read : float;   (* per shadow register read (conjunction width) *)
+  w_sh_mem : float;        (* per shadow memory access *)
+  w_sh_obj : float;        (* per object shadow init *)
+  w_sh_obj_cell : float;
+  w_sh_check : float;
+  pressure : float;        (* base-code slowdown per unit of density *)
+}
+
+let default : weights =
+  {
+    w_alu = 1.0;
+    w_mem = 2.0;
+    w_branch = 1.2;
+    w_call = 5.0;
+    w_alloc = 4.0;
+    w_alloc_cell = 0.2;
+    w_io = 3.0;
+    w_sh_reg = 0.8;
+    w_sh_reg_read = 0.7;
+    w_sh_mem = 3.0;
+    w_sh_obj = 1.5;
+    w_sh_obj_cell = 0.15;
+    w_sh_check = 2.0;
+    pressure = 0.80;
+  }
+
+let base_cost ?(w = default) (c : Counters.t) : float =
+  (w.w_alu *. float_of_int c.alu)
+  +. (w.w_mem *. float_of_int c.mem)
+  +. (w.w_branch *. float_of_int c.branch)
+  +. (w.w_call *. float_of_int c.call)
+  +. (w.w_alloc *. float_of_int c.alloc)
+  +. (w.w_alloc_cell *. float_of_int c.alloc_cells)
+  +. (w.w_io *. float_of_int c.io)
+
+let shadow_cost ?(w = default) (c : Counters.t) : float =
+  (w.w_sh_reg *. float_of_int c.sh_reg)
+  +. (w.w_sh_reg_read *. float_of_int c.sh_reg_reads)
+  +. (w.w_sh_mem *. float_of_int c.sh_mem)
+  +. (w.w_sh_obj *. float_of_int c.sh_obj)
+  +. (w.w_sh_obj_cell *. float_of_int c.sh_obj_cells)
+  +. (w.w_sh_check *. float_of_int c.sh_check)
+
+(** Simulated execution time of an instrumented run. *)
+let time ?(w = default) (c : Counters.t) : float =
+  let base = base_cost ~w c in
+  let shadow = shadow_cost ~w c in
+  let density =
+    if Counters.base_ops c = 0 then 0.0
+    else float_of_int (Counters.shadow_ops c) /. float_of_int (Counters.base_ops c)
+  in
+  (base *. (1.0 +. (w.pressure *. Float.min density 3.0))) +. shadow
+
+(** Percentage slowdown of an instrumented run against the native run of the
+    same program (the paper's Figure 10 metric). *)
+let slowdown_pct ?(w = default) ~(native : Counters.t) ~(instrumented : Counters.t)
+    () : float =
+  let tn = time ~w native in
+  if tn <= 0.0 then 0.0 else (time ~w instrumented -. tn) /. tn *. 100.0

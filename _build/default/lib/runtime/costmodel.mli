@@ -1,0 +1,37 @@
+(** The abstract-cycle cost model substituting for wall-clock measurements
+    on the authors' x86 testbed (DESIGN.md §2 and §8). Slowdown is a ratio
+    of weighted dynamic operation counts; the weights are fixed global
+    constants calibrated once against the paper's MSan average and never
+    varied per benchmark or per analysis variant. *)
+
+type weights = {
+  w_alu : float;
+  w_mem : float;
+  w_branch : float;
+  w_call : float;
+  w_alloc : float;
+  w_alloc_cell : float;
+  w_io : float;
+  w_sh_reg : float;
+  w_sh_reg_read : float;
+  w_sh_mem : float;        (** shadow memory accesses: masked addressing *)
+  w_sh_obj : float;
+  w_sh_obj_cell : float;
+  w_sh_check : float;
+  pressure : float;        (** base-code slowdown per unit of density —
+                               register pressure / code bloat of dense
+                               instrumentation; the one calibration knob *)
+}
+
+val default : weights
+
+val base_cost : ?w:weights -> Counters.t -> float
+val shadow_cost : ?w:weights -> Counters.t -> float
+
+(** Simulated execution time of a run. *)
+val time : ?w:weights -> Counters.t -> float
+
+(** Percentage slowdown against the native run of the same program (the
+    paper's Figure 10 metric). *)
+val slowdown_pct :
+  ?w:weights -> native:Counters.t -> instrumented:Counters.t -> unit -> float

@@ -1,0 +1,679 @@
+(* The shadow-memory execution engine: a direct interpreter for the IR that
+   simultaneously
+
+   - executes the concrete program, with *ground-truth* definedness carried
+     on every value (the interpreter always knows whether a value is
+     garbage; that is the oracle the instrumented runs are judged against);
+   - executes an instrumentation plan (full = the MSan baseline, or any of
+     Usher's guided plans): shadow registers per frame, shadow memory per
+     object, the sigma_g relay array, and E(l) check records;
+   - counts dynamic operations for the cost model.
+
+   Programs are compiled to a slot-resolved form first, so the hot loop
+   performs no hash lookups. Shadow state defaults to "defined": shadow
+   memory cells are created true and shadow registers start true; only
+   instrumented statements ever write them. Garbage cell contents are a
+   deterministic function of the object id and offset, so runs are
+   reproducible. *)
+
+open Ir.Types
+module P = Ir.Prog
+module Item = Instr.Item
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Values and memory                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type vkind = Vint of int | Vptr of int * int | Vfun of string
+
+type value = { v : vkind; def : bool }
+
+let vint ?(def = true) n = { v = Vint n; def }
+
+(* Deterministic garbage for uninitialized cells. *)
+let garbage ~objid ~off =
+  let h = (objid * 2654435761) lxor (off * 40503) in
+  { v = Vint ((h lxor (h lsr 16)) land 0xffff); def = false }
+
+type mobj = {
+  cells : value array;
+  shadow : bool array;
+  obj_name : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compiled form                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type rop = Rc of int | Rs of int | Ru           (* constant / slot / undef *)
+
+type sop = Sc of bool | Ss of int               (* shadow of an operand *)
+
+type crhs =
+  | CRconst of bool
+  | CRvar of int
+  | CRconj of int array
+  | CRmem of int                                 (* slot holding the pointer *)
+  | CRglobal of int
+  | CRphi of (int * sop) array                   (* by predecessor block *)
+
+type caction =
+  | CSet_var of int * crhs
+  | CSet_mem of int * sop                        (* pointer slot, shadow rhs *)
+  | CSet_mem_const of int * bool
+  | CSet_mem_object of int * bool
+  | CSet_global of int * sop
+  | CCheck of int option * label                 (* slot (None = undef op) *)
+
+type csize = CFields of int | CArray of rop
+
+type ckind =
+  | CConst of int * int
+  | CCopy of int * rop
+  | CUnop of int * unop * rop
+  | CBinop of int * binop * rop * rop
+  | CAlloc of { dst : int; init : bool; size : csize; name : string }
+  | CLoad of int * int
+  | CStore of int * rop
+  | CField of int * int * int
+  | CIndex of int * int * rop
+  | CGlobaladdr of int * int                     (* dst slot, global objid *)
+  | CFuncaddr of int * string
+  | CCall of { dst : int option; callee : ccallee; args : rop array }
+  | CPhi of { dst : int; arms : (int * rop) array; sh : (int * sop) array option }
+  | COutput of rop
+  | CInput of int
+
+and ccallee = CDirect of string | CIndirect of int
+
+type cinstr = {
+  clbl : label;
+  ckind : ckind;
+  pre : caction array;
+  post : caction array;
+}
+
+type cterm =
+  | CTBr of rop * int * int
+  | CTJmp of int
+  | CTRet of rop option
+
+type cblock = {
+  body : cinstr array;
+  cterm : cterm;
+  term_lbl : label;
+  term_pre : caction array;
+}
+
+type cfunc = {
+  cfname : string;
+  nslots : int;
+  cparams : int array;
+  entry_acts : caction array;
+  cblocks : cblock array;
+}
+
+type cprog = {
+  funcs : (string, cfunc) Hashtbl.t;
+  global_objid : (string, int) Hashtbl.t;
+  globals : global list;
+  main : cfunc;
+  nglobal_slots : int;   (* sigma_g size *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile (p : P.t) (plan : Item.plan) : cprog =
+  let global_objid = Hashtbl.create 16 in
+  List.iteri (fun i (g : global) -> Hashtbl.replace global_objid g.gname i) p.globals;
+  let funcs = Hashtbl.create 16 in
+  P.iter_funcs
+    (fun f ->
+      let slot : (var, int) Hashtbl.t = Hashtbl.create 64 in
+      let nslots = ref 0 in
+      let slot_of v =
+        match Hashtbl.find_opt slot v with
+        | Some s -> s
+        | None ->
+          let s = !nslots in
+          incr nslots;
+          Hashtbl.replace slot v s;
+          s
+      in
+      let rop = function
+        | Cst n -> Rc n
+        | Var v -> Rs (slot_of v)
+        | Undef -> Ru
+      in
+      let sop = function
+        | Cst _ -> Sc true
+        | Undef -> Sc false
+        | Var v -> Ss (slot_of v)
+      in
+      let caction (a : Item.action) : caction =
+        match a with
+        | Item.Set_var (x, rhs) ->
+          let crhs =
+            match rhs with
+            | Item.Rconst b -> CRconst b
+            | Item.Rvar y -> CRvar (slot_of y)
+            | Item.Rconj ys -> CRconj (Array.of_list (List.map slot_of ys))
+            | Item.Rmem y -> CRmem (slot_of y)
+            | Item.Rglobal i -> CRglobal i
+            | Item.Rphi arms ->
+              CRphi (Array.of_list (List.map (fun (b, o) -> (b, sop o)) arms))
+          in
+          CSet_var (slot_of x, crhs)
+        | Item.Set_mem (x, Item.Mop o) -> CSet_mem (slot_of x, sop o)
+        | Item.Set_mem (x, Item.Mconst b) -> CSet_mem_const (slot_of x, b)
+        | Item.Set_mem_object (x, b) -> CSet_mem_object (slot_of x, b)
+        | Item.Set_global (i, o) -> CSet_global (i, sop o)
+        | Item.Check o -> (
+          match o with
+          | Var v -> CCheck (Some (slot_of v), -1)
+          | Undef -> CCheck (None, -1)
+          | Cst _ -> CCheck (None, -2) (* never emitted; treated as pass *))
+      in
+      let actions_at lbl pos =
+        Array.of_list (List.map caction (Item.items_at plan lbl ~pos))
+      in
+      (* Patch check labels (CCheck carries its statement label). *)
+      let patch lbl (a : caction) =
+        match a with
+        | CCheck (s, -1) -> CCheck (s, lbl)
+        | other -> other
+      in
+      let cblocks =
+        Array.map
+          (fun (b : block) ->
+            let body =
+              Array.of_list
+                (List.map
+                   (fun i ->
+                     let ckind =
+                       match i.kind with
+                       | Const (x, n) -> CConst (slot_of x, n)
+                       | Copy (x, o) -> CCopy (slot_of x, rop o)
+                       | Unop (x, u, o) -> CUnop (slot_of x, u, rop o)
+                       | Binop (x, bop, o1, o2) ->
+                         CBinop (slot_of x, bop, rop o1, rop o2)
+                       | Alloc a ->
+                         CAlloc
+                           {
+                             dst = slot_of a.adst;
+                             init = a.initialized;
+                             size =
+                               (match a.asize with
+                               | Fields n -> CFields n
+                               | Array_of o -> CArray (rop o));
+                             name = a.aname;
+                           }
+                       | Load (x, y) -> CLoad (slot_of x, slot_of y)
+                       | Store (x, o) -> CStore (slot_of x, rop o)
+                       | Field_addr (x, y, k) -> CField (slot_of x, slot_of y, k)
+                       | Index_addr (x, y, o) -> CIndex (slot_of x, slot_of y, rop o)
+                       | Global_addr (x, gname) ->
+                         CGlobaladdr (slot_of x, Hashtbl.find global_objid gname)
+                       | Func_addr (x, fn) -> CFuncaddr (slot_of x, fn)
+                       | Call { cdst; callee; cargs } ->
+                         CCall
+                           {
+                             dst = Option.map slot_of cdst;
+                             callee =
+                               (match callee with
+                               | Direct fn -> CDirect fn
+                               | Indirect v -> CIndirect (slot_of v));
+                             args = Array.of_list (List.map rop cargs);
+                           }
+                       | Phi (x, arms) ->
+                         (* The phi's shadow item, if any, is folded into the
+                            phi itself for atomic parallel evaluation. *)
+                         let sh =
+                           List.find_map
+                             (function
+                               | Item.Set_var (x', Item.Rphi sharms) when x' = x ->
+                                 Some
+                                   (Array.of_list
+                                      (List.map (fun (pb, o) -> (pb, sop o)) sharms))
+                               | _ -> None)
+                             (Item.items_at plan i.lbl ~pos:Item.After)
+                         in
+                         CPhi
+                           {
+                             dst = slot_of x;
+                             arms =
+                               Array.of_list (List.map (fun (pb, o) -> (pb, rop o)) arms);
+                             sh;
+                           }
+                       | Output o -> COutput (rop o)
+                       | Input x -> CInput (slot_of x)
+                     in
+                     let strip_phi_shadow acts =
+                       match i.kind with
+                       | Phi (x, _) ->
+                         Array.of_list
+                           (List.filter
+                              (function
+                                | CSet_var (s, CRphi _) when Hashtbl.find_opt slot x = Some s -> false
+                                | _ -> true)
+                              (Array.to_list acts))
+                       | _ -> acts
+                     in
+                     {
+                       clbl = i.lbl;
+                       ckind;
+                       pre = Array.map (patch i.lbl) (actions_at i.lbl Item.Before);
+                       post =
+                         strip_phi_shadow
+                           (Array.map (patch i.lbl) (actions_at i.lbl Item.After));
+                     })
+                   b.instrs)
+            in
+            let cterm =
+              match b.term.tkind with
+              | Br (o, b1, b2) -> CTBr (rop o, b1, b2)
+              | Jmp b1 -> CTJmp b1
+              | Ret o -> CTRet (Option.map rop o)
+            in
+            {
+              body;
+              cterm;
+              term_lbl = b.term.tlbl;
+              term_pre = Array.map (patch b.term.tlbl) (actions_at b.term.tlbl Item.Before);
+            })
+          f.blocks
+      in
+      let cparams = Array.of_list (List.map slot_of f.params) in
+      let entry_acts =
+        Array.of_list (List.map caction (Item.entry_items plan f.fname))
+      in
+      Hashtbl.replace funcs f.fname
+        {
+          cfname = f.fname;
+          nslots = !nslots;
+          cparams;
+          entry_acts;
+          cblocks;
+        })
+    p;
+  let main =
+    match Hashtbl.find_opt funcs "main" with
+    | Some m -> m
+    | None -> error "program has no main"
+  in
+  {
+    funcs;
+    global_objid;
+    globals = p.globals;
+    main;
+    nglobal_slots = plan.ret_slot + 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  outputs : int list;                    (* program output stream *)
+  exit_value : int;
+  counters : Counters.t;
+  detections : (label, unit) Hashtbl.t;  (* E(l): checks that fired *)
+  gt_uses : (label, unit) Hashtbl.t;     (* ground-truth undefined uses *)
+  steps : int;
+}
+
+type limits = { max_steps : int; max_objects : int; max_depth : int }
+
+let default_limits = { max_steps = 50_000_000; max_objects = 4_000_000; max_depth = 10_000 }
+
+type state = {
+  prog : cprog;
+  mutable objs : mobj array;
+  mutable nobjs : int;
+  sigma_g : bool array;
+  cnt : Counters.t;
+  det : (label, unit) Hashtbl.t;
+  gt : (label, unit) Hashtbl.t;
+  mutable outputs_rev : int list;
+  mutable steps : int;
+  mutable input_state : int;
+  limits : limits;
+}
+
+let new_obj st ~cells ~init ~name : int =
+  if st.nobjs >= st.limits.max_objects then error "too many objects";
+  let id = st.nobjs in
+  let cells_arr =
+    Array.init (max cells 1) (fun off ->
+        if init then vint 0 else garbage ~objid:id ~off)
+  in
+  let o = { cells = cells_arr; shadow = Array.make (max cells 1) true; obj_name = name } in
+  if st.nobjs >= Array.length st.objs then begin
+    let objs = Array.make (max 64 (2 * Array.length st.objs)) o in
+    Array.blit st.objs 0 objs 0 st.nobjs;
+    st.objs <- objs
+  end;
+  st.objs.(st.nobjs) <- o;
+  st.nobjs <- st.nobjs + 1;
+  id
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (min (b land 63) 62)
+  | Shr -> a asr (min (b land 63) 62)
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+
+let as_int (v : value) : int =
+  match v.v with
+  | Vint n -> n
+  | Vptr (o, off) -> (o lsl 20) lor (off land 0xfffff)
+  | Vfun _ -> 1
+
+let run ?(limits = default_limits) (cp : cprog) : outcome =
+  let st =
+    {
+      prog = cp;
+      objs = Array.make 64 { cells = [||]; shadow = [||]; obj_name = "!" };
+      nobjs = 0;
+      sigma_g = Array.make (max 1 cp.nglobal_slots) true;
+      cnt = Counters.create ();
+      det = Hashtbl.create 16;
+      gt = Hashtbl.create 16;
+      outputs_rev = [];
+      steps = 0;
+      input_state = 0x9e3779b9;
+      limits;
+    }
+  in
+  (* Allocate and initialize globals (C default-initialization: defined). *)
+  List.iter
+    (fun (g : global) ->
+      let cells =
+        match g.gsize with
+        | Fields n -> n
+        | Array_of (Cst n) -> n
+        | Array_of _ -> error "global %s has dynamic size" g.gname
+      in
+      let id = new_obj st ~cells ~init:true ~name:g.gname in
+      List.iteri
+        (fun i n -> if i < cells then st.objs.(id).cells.(i) <- vint n)
+        g.ginit;
+      assert (id = Hashtbl.find cp.global_objid g.gname))
+    cp.globals;
+  let cnt = st.cnt in
+  let rec call (f : cfunc) (args : value array) ~depth : value =
+    if depth > st.limits.max_depth then error "call depth exceeded";
+    let regs = Array.make (max 1 f.nslots) (vint 0) in
+    let sregs = Array.make (max 1 f.nslots) true in
+    Array.iteri
+      (fun i s -> if i < Array.length args then regs.(s) <- args.(i))
+      f.cparams;
+    let rvalue = function
+      | Rc n -> vint n
+      | Rs s -> regs.(s)
+      | Ru -> { v = Vint 0xDEAD; def = false }
+    in
+    let svalue = function Sc b -> b | Ss s -> sregs.(s) in
+    let deref ~what (v : value) : int * int =
+      match v.v with
+      | Vptr (o, off) ->
+        if o < 0 || o >= st.nobjs then error "%s: dangling pointer" what;
+        let cells = st.objs.(o).cells in
+        if off < 0 || off >= Array.length cells then
+          error "%s: out-of-bounds access to %s[%d]" what st.objs.(o).obj_name off;
+        (o, off)
+      | Vint _ | Vfun _ -> error "%s: not a pointer" what
+    in
+    let prev_bid = ref 0 in
+    let exec_action (a : caction) =
+      match a with
+      | CSet_var (x, rhs) ->
+        cnt.sh_reg <- cnt.sh_reg + 1;
+        sregs.(x) <-
+          (match rhs with
+          | CRconst b -> b
+          | CRvar y ->
+            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+            sregs.(y)
+          | CRconj ys ->
+            cnt.sh_reg_reads <- cnt.sh_reg_reads + Array.length ys;
+            Array.for_all (fun y -> sregs.(y)) ys
+          | CRmem y ->
+            cnt.sh_mem <- cnt.sh_mem + 1;
+            let o, off = deref ~what:"shadow load" regs.(y) in
+            st.objs.(o).shadow.(off)
+          | CRglobal i ->
+            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+            st.sigma_g.(i)
+          | CRphi arms -> (
+            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+            match Array.find_opt (fun (pb, _) -> pb = !prev_bid) arms with
+            | Some (_, s) -> svalue s
+            | None -> true))
+      | CSet_mem (x, s) ->
+        cnt.sh_mem <- cnt.sh_mem + 1;
+        let o, off = deref ~what:"shadow store" regs.(x) in
+        st.objs.(o).shadow.(off) <- svalue s
+      | CSet_mem_const (x, b) ->
+        cnt.sh_mem <- cnt.sh_mem + 1;
+        let o, off = deref ~what:"shadow store" regs.(x) in
+        st.objs.(o).shadow.(off) <- b
+      | CSet_mem_object (x, b) ->
+        cnt.sh_obj <- cnt.sh_obj + 1;
+        let o, _ = deref ~what:"shadow object init" regs.(x) in
+        let sh = st.objs.(o).shadow in
+        cnt.sh_obj_cells <- cnt.sh_obj_cells + Array.length sh;
+        Array.fill sh 0 (Array.length sh) b
+      | CSet_global (i, s) ->
+        cnt.sh_reg <- cnt.sh_reg + 1;
+        cnt.sh_reg_reads <- cnt.sh_reg_reads + (match s with Ss _ -> 1 | Sc _ -> 0);
+        st.sigma_g.(i) <- svalue s
+      | CCheck (slot, lbl) ->
+        cnt.sh_check <- cnt.sh_check + 1;
+        let ok = match slot with Some s -> sregs.(s) | None -> false in
+        if not ok then Hashtbl.replace st.det lbl ()
+    in
+    let exec_actions acts = Array.iter exec_action acts in
+    let rec block (bid : int) : value =
+      let b = f.cblocks.(bid) in
+      let n = Array.length b.body in
+      (* Leading phis evaluate in parallel. *)
+      let nphis = ref 0 in
+      while
+        !nphis < n
+        && match b.body.(!nphis).ckind with CPhi _ -> true | _ -> false
+      do
+        incr nphis
+      done;
+      if !nphis > 0 then begin
+        let vals = Array.make !nphis (vint 0) in
+        let shs = Array.make !nphis None in
+        for i = 0 to !nphis - 1 do
+          match b.body.(i).ckind with
+          | CPhi { arms; sh; _ } ->
+            cnt.alu <- cnt.alu + 1;
+            (match Array.find_opt (fun (pb, _) -> pb = !prev_bid) arms with
+            | Some (_, o) -> vals.(i) <- rvalue o
+            | None -> vals.(i) <- { v = Vint 0; def = false });
+            (match sh with
+            | Some sharms ->
+              cnt.sh_reg <- cnt.sh_reg + 1;
+              cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+              (match Array.find_opt (fun (pb, _) -> pb = !prev_bid) sharms with
+              | Some (_, s) -> shs.(i) <- Some (svalue s)
+              | None -> shs.(i) <- Some true)
+            | None -> ())
+          | _ -> assert false
+        done;
+        for i = 0 to !nphis - 1 do
+          match b.body.(i).ckind with
+          | CPhi { dst; _ } ->
+            regs.(dst) <- vals.(i);
+            (match shs.(i) with Some s -> sregs.(dst) <- s | None -> ());
+            (* Non-phi shadow items attached to the phi still run. *)
+            exec_actions b.body.(i).pre;
+            exec_actions b.body.(i).post
+          | _ -> assert false
+        done
+      end;
+      for idx = !nphis to n - 1 do
+        let i = b.body.(idx) in
+        st.steps <- st.steps + 1;
+        if st.steps > st.limits.max_steps then error "step limit exceeded";
+        exec_actions i.pre;
+        (match i.ckind with
+        | CConst (x, n) ->
+          cnt.alu <- cnt.alu + 1;
+          regs.(x) <- vint n
+        | CCopy (x, o) ->
+          cnt.alu <- cnt.alu + 1;
+          regs.(x) <- rvalue o
+        | CUnop (x, u, o) ->
+          cnt.alu <- cnt.alu + 1;
+          let a = rvalue o in
+          let n = as_int a in
+          let r = match u with Neg -> -n | Not -> lnot n | Lnot -> if n = 0 then 1 else 0 in
+          regs.(x) <- { v = Vint r; def = a.def }
+        | CBinop (x, bop, o1, o2) ->
+          cnt.alu <- cnt.alu + 1;
+          let a = rvalue o1 and c = rvalue o2 in
+          let r =
+            match (bop, a.v, c.v) with
+            | Eq, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 1 else 0
+            | Ne, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 0 else 1
+            | _ -> eval_binop bop (as_int a) (as_int c)
+          in
+          regs.(x) <- { v = Vint r; def = a.def && c.def }
+        | CAlloc { dst; init; size; name } ->
+          cnt.alloc <- cnt.alloc + 1;
+          let cells =
+            match size with
+            | CFields n -> n
+            | CArray o ->
+              let v = rvalue o in
+              if not v.def then error "allocation with undefined size";
+              max 0 (min (as_int v) 10_000_000)
+          in
+          cnt.alloc_cells <- cnt.alloc_cells + cells;
+          let id = new_obj st ~cells ~init ~name in
+          regs.(dst) <- { v = Vptr (id, 0); def = true }
+        | CLoad (x, y) ->
+          cnt.mem <- cnt.mem + 1;
+          let pv = regs.(y) in
+          if not pv.def then Hashtbl.replace st.gt i.clbl ();
+          let o, off = deref ~what:"load" pv in
+          regs.(x) <- st.objs.(o).cells.(off)
+        | CStore (x, o) ->
+          cnt.mem <- cnt.mem + 1;
+          let pv = regs.(x) in
+          if not pv.def then Hashtbl.replace st.gt i.clbl ();
+          let ob, off = deref ~what:"store" pv in
+          st.objs.(ob).cells.(off) <- rvalue o
+        | CField (x, y, k) ->
+          cnt.alu <- cnt.alu + 1;
+          let pv = regs.(y) in
+          (match pv.v with
+          | Vptr (o, off) -> regs.(x) <- { v = Vptr (o, off + k); def = pv.def }
+          | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
+        | CIndex (x, y, o) ->
+          cnt.alu <- cnt.alu + 1;
+          let pv = regs.(y) in
+          let iv = rvalue o in
+          (match pv.v with
+          | Vptr (ob, off) ->
+            regs.(x) <- { v = Vptr (ob, off + as_int iv); def = pv.def && iv.def }
+          | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
+        | CGlobaladdr (x, objid) ->
+          cnt.alu <- cnt.alu + 1;
+          regs.(x) <- { v = Vptr (objid, 0); def = true }
+        | CFuncaddr (x, fn) ->
+          cnt.alu <- cnt.alu + 1;
+          regs.(x) <- { v = Vfun fn; def = true }
+        | CCall { dst; callee; args } ->
+          cnt.call <- cnt.call + 1;
+          let fn =
+            match callee with
+            | CDirect fn -> fn
+            | CIndirect s -> (
+              match regs.(s).v with
+              | Vfun fn -> fn
+              | Vint _ | Vptr _ -> error "indirect call through non-function")
+          in
+          let callee_f =
+            match Hashtbl.find_opt st.prog.funcs fn with
+            | Some cf -> cf
+            | None -> error "call to unknown function %s" fn
+          in
+          let argv = Array.map rvalue args in
+          let r = call callee_f argv ~depth:(depth + 1) in
+          (match dst with Some x -> regs.(x) <- r | None -> ())
+        | CPhi _ -> error "phi in block body (not at head)"
+        | COutput o ->
+          cnt.io <- cnt.io + 1;
+          st.outputs_rev <- as_int (rvalue o) :: st.outputs_rev
+        | CInput x ->
+          cnt.io <- cnt.io + 1;
+          st.input_state <- (st.input_state * 1103515245) + 12345;
+          regs.(x) <- vint ((st.input_state lsr 16) land 0x7fff));
+        exec_actions i.post
+      done;
+      exec_actions b.term_pre;
+      (* Terminators count as steps too, or an empty infinite loop would
+         never hit the step limit. *)
+      st.steps <- st.steps + 1;
+      if st.steps > st.limits.max_steps then error "step limit exceeded";
+      match b.cterm with
+      | CTBr (o, b1, b2) ->
+        cnt.branch <- cnt.branch + 1;
+        let v = rvalue o in
+        if not v.def then Hashtbl.replace st.gt b.term_lbl ();
+        prev_bid := bid;
+        block (if as_int v <> 0 then b1 else b2)
+      | CTJmp b1 ->
+        prev_bid := bid;
+        block b1
+      | CTRet o -> (
+        cnt.call <- cnt.call + 1;
+        match o with Some o -> rvalue o | None -> { v = Vint 0; def = false })
+    in
+    exec_actions f.entry_acts;
+    block 0
+  in
+  let r = call cp.main [||] ~depth:0 in
+  {
+    outputs = List.rev st.outputs_rev;
+    exit_value = as_int r;
+    counters = st.cnt;
+    detections = st.det;
+    gt_uses = st.gt;
+    steps = st.steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Run a program natively (no instrumentation). *)
+let run_native ?limits (p : P.t) : outcome =
+  run ?limits (compile p (Item.empty_plan p))
+
+(** Run under a plan. *)
+let run_plan ?limits (p : P.t) (plan : Item.plan) : outcome =
+  run ?limits (compile p plan)

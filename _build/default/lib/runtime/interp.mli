@@ -1,0 +1,45 @@
+(** The shadow-memory execution engine: a direct interpreter for the IR
+    that simultaneously
+
+    - executes the concrete program, carrying {e ground-truth} definedness
+      on every value (the oracle instrumented runs are judged against);
+    - executes an instrumentation plan (full = the MSan baseline, or any of
+      Usher's guided plans): shadow registers per frame, shadow memory per
+      object, the sigma_g relay array, and E(l) check records;
+    - counts dynamic operations for the cost model.
+
+    Programs are compiled to a slot-resolved form first, so the hot loop
+    performs no hash lookups. Shadow state defaults to "defined"; only
+    instrumented statements write it. Garbage cell contents are a
+    deterministic function of object id and offset, so runs are
+    reproducible. *)
+
+exception Runtime_error of string
+
+(** A compiled program (slot-resolved IR plus plan). *)
+type cprog
+
+val compile : Ir.Prog.t -> Instr.Item.plan -> cprog
+
+type outcome = {
+  outputs : int list;                            (** program output stream *)
+  exit_value : int;
+  counters : Counters.t;
+  detections : (Ir.Types.label, unit) Hashtbl.t; (** E(l): checks that fired *)
+  gt_uses : (Ir.Types.label, unit) Hashtbl.t;    (** ground-truth undefined
+                                                     uses at critical ops *)
+  steps : int;
+}
+
+type limits = { max_steps : int; max_objects : int; max_depth : int }
+
+val default_limits : limits
+
+(** @raise Runtime_error on wild memory accesses or exceeded limits. *)
+val run : ?limits:limits -> cprog -> outcome
+
+(** Run without instrumentation. *)
+val run_native : ?limits:limits -> Ir.Prog.t -> outcome
+
+(** Compile with a plan and run. *)
+val run_plan : ?limits:limits -> Ir.Prog.t -> Instr.Item.plan -> outcome

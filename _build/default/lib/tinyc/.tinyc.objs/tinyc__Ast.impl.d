@@ -1,0 +1,1 @@
+lib/tinyc/ast.ml:

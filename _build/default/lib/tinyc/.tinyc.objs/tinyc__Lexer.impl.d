@@ -1,0 +1,1 @@
+lib/tinyc/lexer.ml: Fmt List Printf String Token

@@ -1,0 +1,1 @@
+lib/tinyc/lexer.mli: Token

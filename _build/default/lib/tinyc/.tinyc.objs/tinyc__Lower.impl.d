@@ -1,0 +1,1 @@
+lib/tinyc/lower.ml: Ast Fmt Hashtbl Ir List Option Parser

@@ -1,0 +1,1 @@
+lib/tinyc/lower.mli: Ast Ir

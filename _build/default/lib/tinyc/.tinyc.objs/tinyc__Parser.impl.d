@@ -1,0 +1,1 @@
+lib/tinyc/parser.ml: Array Ast Fmt Lexer List Printf Token

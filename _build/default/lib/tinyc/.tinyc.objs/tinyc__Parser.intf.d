@@ -1,0 +1,1 @@
+lib/tinyc/parser.mli: Ast

@@ -1,0 +1,70 @@
+(* Abstract syntax of TinyC. *)
+
+type ty =
+  | Tint
+  | Tvoid
+  | Tptr of ty
+  | Tstruct of string
+  | Tarr of int * ty      (* fixed-size arrays; element type int or pointer *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Brem
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor          (* logical; evaluated non-short-circuit, see Lower *)
+
+type unop = Uneg | Unot | Ulnot
+
+type expr =
+  | Eint of int
+  | Eident of string                  (* variable, or function name as value *)
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Ederef of expr                    (* *e *)
+  | Eaddr of expr                     (* &lvalue *)
+  | Eindex of expr * expr             (* e1[e2] *)
+  | Efield of expr * string           (* e.f *)
+  | Earrow of expr * string           (* e->f *)
+  | Ecall of string * expr list       (* direct call, or builtin *)
+  | Eicall of expr * expr list        (* call through function pointer *)
+  | Esizeof of ty
+  | Ecast of ty * expr
+  | Eternary of expr * expr * expr   (* c ? a : b *)
+
+type stmt =
+  | Sdecl of ty * string * expr option  (* local declaration *)
+  | Sassign of expr * expr              (* lvalue = expr *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sexpr of expr                       (* expression statement (calls) *)
+  | Sblock of stmt list
+
+type struct_def = { sname : string; sfields : (string * ty) list }
+
+type func_def = {
+  fret : ty;
+  fdname : string;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type global_def = { gdty : ty; gdname : string; gdinit : int option }
+
+type item =
+  | Istruct of struct_def
+  | Iglobal of global_def
+  | Ifunc of func_def
+
+type program = item list
+
+let struct_fields (prog : program) (name : string) : (string * ty) list =
+  let rec find = function
+    | Istruct s :: _ when s.sname = name -> s.sfields
+    | _ :: rest -> find rest
+    | [] -> invalid_arg ("unknown struct " ^ name)
+  in
+  find prog

@@ -1,0 +1,138 @@
+(* Hand-rolled lexer for TinyC. Supports // and /* */ comments. *)
+
+exception Error of string
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create src = { src; pos = 0; line = 1; col = 1 }
+
+let fail lx fmt =
+  Fmt.kstr (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" lx.line lx.col s))) fmt
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+    while peek lx <> None && peek lx <> Some '\n' do advance lx done;
+    skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+    advance lx; advance lx;
+    let rec loop () =
+      match (peek lx, peek2 lx) with
+      | Some '*', Some '/' -> advance lx; advance lx
+      | Some _, _ -> advance lx; loop ()
+      | None, _ -> fail lx "unterminated comment"
+    in
+    loop ();
+    skip_ws lx
+  | _ -> ()
+
+let keyword = function
+  | "int" -> Some Token.KW_INT
+  | "void" -> Some Token.KW_VOID
+  | "struct" -> Some Token.KW_STRUCT
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "sizeof" -> Some Token.KW_SIZEOF
+  | _ -> None
+
+let next (lx : t) : Token.spanned =
+  skip_ws lx;
+  let line = lx.line and col = lx.col in
+  let mk tok = { Token.tok; line; col } in
+  match peek lx with
+  | None -> mk Token.EOF
+  | Some c when is_digit c ->
+    let start = lx.pos in
+    while (match peek lx with Some c -> is_digit c | None -> false) do advance lx done;
+    mk (Token.INT (int_of_string (String.sub lx.src start (lx.pos - start))))
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek lx with Some c -> is_ident_char c | None -> false) do advance lx done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    mk (match keyword s with Some k -> k | None -> Token.IDENT s)
+  | Some c ->
+    let two expect tok1 tok0 =
+      advance lx;
+      if peek lx = Some expect then begin advance lx; mk tok1 end else mk tok0
+    in
+    (match c with
+    | '(' -> advance lx; mk Token.LPAREN
+    | ')' -> advance lx; mk Token.RPAREN
+    | '{' -> advance lx; mk Token.LBRACE
+    | '}' -> advance lx; mk Token.RBRACE
+    | '[' -> advance lx; mk Token.LBRACKET
+    | ']' -> advance lx; mk Token.RBRACKET
+    | ';' -> advance lx; mk Token.SEMI
+    | '?' -> advance lx; mk Token.QUESTION
+    | ':' -> advance lx; mk Token.COLON
+    | ',' -> advance lx; mk Token.COMMA
+    | '.' -> advance lx; mk Token.DOT
+    | '+' -> two '=' Token.PLUSEQ Token.PLUS
+    | '-' ->
+      advance lx;
+      (match peek lx with
+      | Some '>' -> advance lx; mk Token.ARROW
+      | Some '=' -> advance lx; mk Token.MINUSEQ
+      | _ -> mk Token.MINUS)
+    | '*' -> two '=' Token.STAREQ Token.STAR
+    | '/' -> advance lx; mk Token.SLASH
+    | '%' -> advance lx; mk Token.PERCENT
+    | '~' -> advance lx; mk Token.TILDE
+    | '^' -> advance lx; mk Token.CARET
+    | '&' -> two '&' Token.ANDAND Token.AMP
+    | '|' -> two '|' Token.OROR Token.PIPE
+    | '!' -> two '=' Token.NE Token.BANG
+    | '=' -> two '=' Token.EQ Token.ASSIGN
+    | '<' ->
+      advance lx;
+      (match peek lx with
+      | Some '=' -> advance lx; mk Token.LE
+      | Some '<' -> advance lx; mk Token.SHL
+      | _ -> mk Token.LT)
+    | '>' ->
+      advance lx;
+      (match peek lx with
+      | Some '=' -> advance lx; mk Token.GE
+      | Some '>' -> advance lx; mk Token.SHR
+      | _ -> mk Token.GT)
+    | c -> fail lx "unexpected character %C" c)
+
+(** Tokenize a whole source string. *)
+let tokenize (src : string) : Token.spanned list =
+  let lx = create src in
+  let rec loop acc =
+    let t = next lx in
+    if t.Token.tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

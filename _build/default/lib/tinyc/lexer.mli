@@ -1,0 +1,7 @@
+(** Hand-rolled lexer for TinyC. Supports // and /* */ comments. *)
+
+exception Error of string
+
+(** Tokenize a whole source string (the last element is EOF).
+    @raise Error with position information on bad input. *)
+val tokenize : string -> Token.spanned list

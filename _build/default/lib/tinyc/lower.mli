@@ -1,0 +1,13 @@
+(** Lowering TinyC ASTs to the LLVM-like IR, mirroring clang -O0: every
+    local gets a stack allocation in the entry block and is accessed
+    through loads and stores (mem2reg later promotes the scalars whose
+    address does not escape); the C address-of operator disappears;
+    [malloc]/[calloc] become heap allocations. *)
+
+exception Error of string
+
+val lower_program : Ast.program -> Ir.Prog.t
+
+(** Parse and lower a TinyC source string.
+    @raise Error on semantic errors (unknown names, arity mismatches, ...) *)
+val compile : string -> Ir.Prog.t

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for TinyC with precedence climbing. *)
+
+exception Error of string
+
+(** @raise Error (with position) on syntax errors;
+    @raise Lexer.Error on lexical errors. *)
+val parse_program : string -> Ast.program

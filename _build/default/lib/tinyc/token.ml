@@ -1,0 +1,42 @@
+(* Tokens of the TinyC surface language: a practical C subset sufficient for
+   the paper's TinyC (Fig. 1) plus structs, arrays and function pointers. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_INT | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | ASSIGN              (* = *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR
+  | QUESTION | COLON
+  | PLUSEQ | MINUSEQ | STAREQ
+  | EOF
+
+type spanned = { tok : t; line : int; col : int }
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_VOID -> "void" | KW_STRUCT -> "struct"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | SHL -> "<<" | SHR -> ">>"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | ANDAND -> "&&" | OROR -> "||"
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*="
+  | EOF -> "<eof>"

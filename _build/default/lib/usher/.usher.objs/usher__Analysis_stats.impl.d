@@ -1,0 +1,1 @@
+lib/usher/analysis_stats.ml: Analysis Hashtbl Instr Ir List Pipeline String Vfg

@@ -1,0 +1,1 @@
+lib/usher/analysis_stats.mli: Pipeline

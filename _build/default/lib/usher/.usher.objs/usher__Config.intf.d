@@ -1,0 +1,1 @@
+lib/usher/config.mli:

@@ -1,0 +1,1 @@
+lib/usher/experiment.ml: Analysis Analysis_stats Config Hashtbl Instr Ir List Optim Pipeline Printf Runtime

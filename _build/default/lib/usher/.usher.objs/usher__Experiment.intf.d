@@ -1,0 +1,1 @@
+lib/usher/experiment.mli: Analysis_stats Config Hashtbl Instr Ir Optim Pipeline Runtime

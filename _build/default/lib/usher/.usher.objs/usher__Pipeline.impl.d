@@ -1,0 +1,1 @@
+lib/usher/pipeline.ml: Analysis Config Gc Instr Ir Memssa Optim Sys Tinyc Vfg

@@ -1,0 +1,1 @@
+lib/usher/pipeline.mli: Analysis Config Instr Ir Memssa Optim Vfg

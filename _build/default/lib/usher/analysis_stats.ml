@@ -1,0 +1,83 @@
+(* The per-benchmark statistics of Table 1. *)
+
+type t = {
+  kloc : float;                  (* TinyC source size *)
+  analysis_time_s : float;
+  analysis_mem_mb : float;
+  var_tl : int;                  (* top-level variables (virtual registers) *)
+  var_at_stack : int;            (* address-taken objects by region *)
+  var_at_heap : int;
+  var_at_global : int;
+  pct_uninit_alloc : float;      (* %F *)
+  semi_per_heap_site : float;    (* S: semi-strong cuts per non-array heap site *)
+  pct_strong : float;            (* %SU *)
+  pct_weak_singleton : float;    (* %WU *)
+  vfg_nodes : int;
+  pct_reaching : float;          (* %B: nodes needing tracking *)
+  opt1_simplified : int;         (* S (second): closures simplified *)
+  opt2_redirected : int;         (* R *)
+}
+
+let kloc_of_source (src : string) : float =
+  let lines = String.split_on_char '\n' src in
+  let code =
+    List.filter
+      (fun l ->
+        let l = String.trim l in
+        String.length l > 0 && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+      lines
+  in
+  float_of_int (List.length code) /. 1000.0
+
+let compute ~(src : string) (a : Pipeline.analysis) : t =
+  let objects = a.pa.objects in
+  let stack = ref 0 and heap = ref 0 and glob = ref 0 and uninit = ref 0 in
+  let nonarray_heap_sites = Hashtbl.create 16 in
+  for oid = 0 to Analysis.Objects.nobjs objects - 1 do
+    let o = Analysis.Objects.obj objects oid in
+    (match o.okind with
+    | Analysis.Objects.Obj_stack -> incr stack
+    | Analysis.Objects.Obj_heap ->
+      incr heap;
+      if not o.oarray then Hashtbl.replace nonarray_heap_sites o.osite ()
+    | Analysis.Objects.Obj_global -> incr glob
+    | Analysis.Objects.Obj_func _ -> ());
+    match o.okind with
+    | Analysis.Objects.Obj_func _ -> ()
+    | _ -> if not o.oinit then incr uninit
+  done;
+  let n_at = !stack + !heap + !glob in
+  (* Top-level variables: SSA definitions and parameters in the optimized
+     program. *)
+  let var_tl = ref 0 in
+  Ir.Prog.iter_funcs
+    (fun f -> var_tl := !var_tl + List.length (Ir.Func.defined_vars f))
+    a.prog;
+  let ss = Vfg.Build.store_stats a.vfg in
+  let guided =
+    Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg a.gamma
+  in
+  let opt1 =
+    Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.gamma
+  in
+  let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
+  {
+    kloc = kloc_of_source src;
+    analysis_time_s = a.analysis_time_s;
+    analysis_mem_mb = a.analysis_mem_mb;
+    var_tl = !var_tl;
+    var_at_stack = !stack;
+    var_at_heap = !heap;
+    var_at_global = !glob;
+    pct_uninit_alloc = pct !uninit n_at;
+    semi_per_heap_site =
+      (let sites = Hashtbl.length nonarray_heap_sites in
+       if sites = 0 then 0.0
+       else float_of_int a.vfg.semi_strong_cuts /. float_of_int sites);
+    pct_strong = pct ss.strong ss.total_stores;
+    pct_weak_singleton = pct ss.weak_singleton ss.total_stores;
+    vfg_nodes = Vfg.Graph.nnodes a.vfg.graph;
+    pct_reaching = pct guided.needed_nodes (Vfg.Graph.nnodes a.vfg.graph);
+    opt1_simplified = opt1.opt1_simplified;
+    opt2_redirected = a.opt2.redirected;
+  }

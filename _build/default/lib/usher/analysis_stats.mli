@@ -1,0 +1,22 @@
+(** The per-benchmark statistics of the paper's Table 1. *)
+
+type t = {
+  kloc : float;                  (** TinyC source size *)
+  analysis_time_s : float;
+  analysis_mem_mb : float;
+  var_tl : int;                  (** top-level variables (virtual registers) *)
+  var_at_stack : int;            (** address-taken objects by region *)
+  var_at_heap : int;
+  var_at_global : int;
+  pct_uninit_alloc : float;      (** %F *)
+  semi_per_heap_site : float;    (** S: semi-strong cuts per non-array heap site *)
+  pct_strong : float;            (** %SU *)
+  pct_weak_singleton : float;    (** %WU *)
+  vfg_nodes : int;
+  pct_reaching : float;          (** %B: nodes needing tracking *)
+  opt1_simplified : int;         (** closures simplified by Opt I *)
+  opt2_redirected : int;         (** R: nodes redirected by Opt II *)
+}
+
+val kloc_of_source : string -> float
+val compute : src:string -> Pipeline.analysis -> t

@@ -1,0 +1,39 @@
+(* Analysis variants evaluated in the paper (§4.5) and tuning knobs. *)
+
+(** The five instrumentation configurations of Figures 10 and 11. *)
+type variant =
+  | Msan          (** full instrumentation — the baseline *)
+  | Usher_tl      (** top-level variables only, no Opt I/II *)
+  | Usher_tl_at   (** + address-taken variables *)
+  | Usher_opt1    (** + Opt I (value-flow simplification) *)
+  | Usher_full    (** + Opt II (redundant check elimination) *)
+
+let all_variants = [ Msan; Usher_tl; Usher_tl_at; Usher_opt1; Usher_full ]
+
+let variant_name = function
+  | Msan -> "MSan"
+  | Usher_tl -> "Usher_TL"
+  | Usher_tl_at -> "Usher_TL+AT"
+  | Usher_opt1 -> "Usher_OptI"
+  | Usher_full -> "Usher"
+
+(** Ablation switches (DESIGN.md §5); the paper's configuration is
+    [default]. *)
+type knobs = {
+  semi_strong : bool;
+  context_sensitive : bool;
+  field_sensitive : bool;
+  heap_cloning : bool;
+  small_array_fields : int;
+      (** extension beyond the paper (see Analysis.Andersen.config);
+          0 = the paper's arrays-as-a-whole treatment *)
+}
+
+let default_knobs =
+  {
+    semi_strong = true;
+    context_sensitive = true;
+    field_sensitive = true;
+    heap_cloning = true;
+    small_array_fields = 0;
+  }

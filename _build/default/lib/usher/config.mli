@@ -1,0 +1,26 @@
+(** Analysis variants evaluated in the paper (§4.5) and tuning knobs. *)
+
+(** The five instrumentation configurations of Figures 10 and 11. *)
+type variant =
+  | Msan          (** full instrumentation — the baseline *)
+  | Usher_tl      (** top-level variables only, no Opt I/II *)
+  | Usher_tl_at   (** + address-taken variables *)
+  | Usher_opt1    (** + Opt I (value-flow simplification) *)
+  | Usher_full    (** + Opt II (redundant check elimination) *)
+
+val all_variants : variant list
+val variant_name : variant -> string
+
+(** Ablation switches (DESIGN.md §5); the paper's configuration is
+    {!default_knobs}. *)
+type knobs = {
+  semi_strong : bool;
+  context_sensitive : bool;
+  field_sensitive : bool;
+  heap_cloning : bool;
+  small_array_fields : int;
+      (** extension beyond the paper (see {!Analysis.Andersen.config});
+          0 = the paper's arrays-as-a-whole treatment *)
+}
+
+val default_knobs : knobs

@@ -1,0 +1,49 @@
+(** One end-to-end experiment: compile a TinyC program at an optimization
+    level, analyze it, instrument it under every variant, execute natively
+    and under each plan, and report slowdowns plus static instrumentation
+    statistics. The unit both the benchmark harness and the examples build
+    on. *)
+
+type variant_result = {
+  variant : Config.variant;
+  static_stats : Instr.Item.stats;
+  slowdown_pct : float;
+  dynamic_shadow_ops : int;
+  detections : Ir.Types.label list;   (** E(l) that fired *)
+  compressed_away : int;              (** items removed by shadow DCE/folding *)
+}
+
+type t = {
+  name : string;
+  level : Optim.Pipeline.level;
+  analysis : Pipeline.analysis;
+  table1 : Analysis_stats.t;
+  native_counters : Runtime.Counters.t;
+  native_outputs : int list;
+  gt_uses : Ir.Types.label list;      (** ground-truth undefined uses *)
+  results : variant_result list;
+}
+
+exception Unsound of string
+
+(** Is the ground-truth undefined use at a label covered by the detections:
+    reported at its own statement, or dominated (same function,
+    executes-before) by a statement whose check fired — the situation Opt
+    II creates deliberately (§3.5.2)? *)
+val covered :
+  Ir.Prog.t -> (Ir.Types.label, unit) Hashtbl.t -> Ir.Types.label -> bool
+
+(** Run every variant. With [check_soundness] (default, O0+IM only) raises
+    {!Unsound} if an instrumented run diverges from the native outputs or a
+    ground-truth undefined use is not covered. *)
+val run :
+  ?name:string ->
+  ?level:Optim.Pipeline.level ->
+  ?knobs:Config.knobs ->
+  ?variants:Config.variant list ->
+  ?check_soundness:bool ->
+  ?limits:Runtime.Interp.limits ->
+  string ->
+  t
+
+val result_for : t -> Config.variant -> variant_result

@@ -1,0 +1,104 @@
+(* The end-to-end Usher pipeline (Fig. 3):
+
+     source --Clang analog--> IR --O0+IM/O1/O2--> SSA IR
+       --pointer analysis--> --memory SSA--> --VFG--> --Γ--> plans
+
+   [analyze] produces every artifact shared by the variants; [plan_for]
+   derives the instrumentation plan of one variant. Analysis wall time and
+   peak heap are recorded for Table 1. *)
+
+type analysis = {
+  prog : Ir.Prog.t;
+  pa : Analysis.Andersen.t;
+  cg : Analysis.Callgraph.t;
+  mr : Analysis.Modref.t;
+  mssa : Memssa.t;
+  vfg : Vfg.Build.t;                  (* full graph (TL+AT) *)
+  gamma : Vfg.Resolve.gamma;          (* resolved on [vfg] *)
+  vfg_tl : Vfg.Build.t;               (* top-level-only graph *)
+  gamma_tl : Vfg.Resolve.gamma;
+  opt2 : Vfg.Opt2.result;             (* Γ after redundant check elimination *)
+  analysis_time_s : float;            (* pointer analysis through Opt II *)
+  analysis_mem_mb : float;
+  knobs : Config.knobs;
+}
+
+let front ?(level = Optim.Pipeline.O0_IM) (src : string) : Ir.Prog.t =
+  let prog = Tinyc.Lower.compile src in
+  Optim.Pipeline.run level prog;
+  prog
+
+let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
+  let t0 = Sys.time () in
+  let heap0 = (Gc.quick_stat ()).Gc.heap_words in
+  let pa =
+    Analysis.Andersen.run
+      ~config:
+        {
+          Analysis.Andersen.field_sensitive = knobs.field_sensitive;
+          heap_cloning = knobs.heap_cloning;
+          small_array_fields = knobs.small_array_fields;
+        }
+      prog
+  in
+  let cg = Analysis.Callgraph.build prog pa in
+  let mr = Analysis.Modref.compute prog pa cg in
+  let mssa = Memssa.build prog pa cg mr in
+  let vfg =
+    Vfg.Build.build
+      ~config:{ Vfg.Build.track_memory = true; semi_strong = knobs.semi_strong }
+      prog pa cg mr mssa
+  in
+  let gamma =
+    Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive vfg.graph
+  in
+  let vfg_tl =
+    Vfg.Build.build
+      ~config:{ Vfg.Build.track_memory = false; semi_strong = knobs.semi_strong }
+      prog pa cg mr mssa
+  in
+  let gamma_tl =
+    Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive vfg_tl.graph
+  in
+  let opt2 = Vfg.Opt2.run ~context_sensitive:knobs.context_sensitive vfg in
+  let dt = Sys.time () -. t0 in
+  let heap1 = (Gc.quick_stat ()).Gc.heap_words in
+  let words = max 0 (heap1 - heap0) in
+  {
+    prog;
+    pa;
+    cg;
+    mr;
+    mssa;
+    vfg;
+    gamma;
+    vfg_tl;
+    gamma_tl;
+    opt2;
+    analysis_time_s = dt;
+    analysis_mem_mb = float_of_int (words * 8) /. 1048576.0;
+    knobs;
+  }
+
+(** Instrumentation plan of one variant, plus the guided-traversal result
+    when applicable. *)
+let plan_for (a : analysis) (v : Config.variant) :
+    Instr.Item.plan * Instr.Guided.result option =
+  match v with
+  | Config.Msan -> (Instr.Full.build a.prog, None)
+  | Config.Usher_tl ->
+    let r =
+      Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg_tl a.gamma_tl
+    in
+    (r.plan, Some r)
+  | Config.Usher_tl_at ->
+    let r = Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg a.gamma in
+    (r.plan, Some r)
+  | Config.Usher_opt1 ->
+    let r = Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.gamma in
+    (r.plan, Some r)
+  | Config.Usher_full ->
+    let r =
+      Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.opt2.gamma
+    in
+    (r.plan, Some r)

@@ -1,0 +1,31 @@
+(** The end-to-end Usher pipeline (the paper's Fig. 3):
+
+    source → IR → O-level optimization → pointer analysis → memory SSA →
+    VFG → definedness resolution → instrumentation plans. *)
+
+type analysis = {
+  prog : Ir.Prog.t;
+  pa : Analysis.Andersen.t;
+  cg : Analysis.Callgraph.t;
+  mr : Analysis.Modref.t;
+  mssa : Memssa.t;
+  vfg : Vfg.Build.t;                  (** full graph (TL+AT) *)
+  gamma : Vfg.Resolve.gamma;          (** resolved on [vfg] *)
+  vfg_tl : Vfg.Build.t;               (** top-level-only graph *)
+  gamma_tl : Vfg.Resolve.gamma;
+  opt2 : Vfg.Opt2.result;             (** Γ after redundant check elimination *)
+  analysis_time_s : float;
+  analysis_mem_mb : float;
+  knobs : Config.knobs;
+}
+
+(** Parse, lower and optimize a TinyC source (default level O0+IM). *)
+val front : ?level:Optim.Pipeline.level -> string -> Ir.Prog.t
+
+(** Every analysis artifact shared by the variants. *)
+val analyze : ?knobs:Config.knobs -> Ir.Prog.t -> analysis
+
+(** Instrumentation plan of one variant, plus the guided-traversal result
+    when applicable (None for MSan). *)
+val plan_for :
+  analysis -> Config.variant -> Instr.Item.plan * Instr.Guided.result option

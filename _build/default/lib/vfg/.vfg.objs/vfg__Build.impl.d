@@ -1,0 +1,1 @@
+lib/vfg/build.ml: Analysis Array Graph Hashtbl Ir Lazy List Memssa Option

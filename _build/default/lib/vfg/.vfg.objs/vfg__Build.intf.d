@@ -1,0 +1,1 @@
+lib/vfg/build.mli: Analysis Graph Hashtbl Ir Memssa

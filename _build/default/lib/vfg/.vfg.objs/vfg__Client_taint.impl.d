@@ -1,0 +1,1 @@
+lib/vfg/client_taint.ml: Build Graph Ir List Resolve

@@ -1,0 +1,1 @@
+lib/vfg/client_taint.mli: Build Ir Resolve

@@ -1,0 +1,1 @@
+lib/vfg/dot.ml: Build Fmt Graph List Printf Resolve String

@@ -1,0 +1,1 @@
+lib/vfg/dot.mli: Build Resolve

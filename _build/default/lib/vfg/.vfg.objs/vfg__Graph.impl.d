@@ -1,0 +1,1 @@
+lib/vfg/graph.ml: Analysis Array Hashtbl Ir List Printf

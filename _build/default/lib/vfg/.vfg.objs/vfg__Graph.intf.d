@@ -1,0 +1,1 @@
+lib/vfg/graph.mli: Analysis Ir

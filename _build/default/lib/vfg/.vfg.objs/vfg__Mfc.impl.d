@@ -1,0 +1,1 @@
+lib/vfg/mfc.ml: Hashtbl Ir List

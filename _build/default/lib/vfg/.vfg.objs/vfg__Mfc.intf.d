@@ -1,0 +1,1 @@
+lib/vfg/mfc.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/vfg/opt2.ml: Analysis Build Graph Hashtbl Ir List Memssa Mfc Resolve

@@ -1,0 +1,1 @@
+lib/vfg/opt2.mli: Build Resolve

@@ -1,0 +1,1 @@
+lib/vfg/resolve.ml: Array Graph Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/vfg/resolve.mli: Graph

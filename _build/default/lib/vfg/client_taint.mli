@@ -1,0 +1,25 @@
+(** A second client of the value-flow graph: input taint tracking.
+
+    Reuses the exact same graph, interprocedural edges and context-sensitive
+    reachability engine as definedness resolution, seeded at every external
+    input ([input()]) instead of the F root — substantiating the paper's
+    claim that the VFG representation is client-generic. Findings are the
+    critical operations (branches, loads, stores) whose checked operand is
+    input-tainted. *)
+
+open Ir.Types
+
+type finding = {
+  flbl : label;              (** the critical statement *)
+  ffunc : fname;
+  fkind : [ `Branch | `Load | `Store ];
+}
+
+type result = {
+  taint : Resolve.gamma;     (** reachability from the input sources *)
+  sources : int;             (** number of seed nodes *)
+  findings : finding list;   (** tainted critical operations, program order *)
+  tainted_nodes : int;
+}
+
+val run : ?context_sensitive:bool -> Build.t -> result

@@ -1,0 +1,4 @@
+(** Graphviz export of value-flow graphs. With [gamma], ⊥ nodes render red;
+    interprocedural edges are dashed and labelled with their call site. *)
+
+val to_string : ?gamma:Resolve.gamma -> Build.t -> string

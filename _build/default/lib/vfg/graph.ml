@@ -1,0 +1,141 @@
+(* The value-flow graph (§3.2): nodes are SSA definitions (top-level and
+   memory versions) plus the two roots T (defined) and F (undefined); an edge
+   [v -> w] records that v's value data-depends on w's. Interprocedural edges
+   carry their call-site label so definedness resolution can match calls with
+   returns. Nodes are interned to dense integers. *)
+
+open Ir.Types
+
+type loc = int
+
+type node =
+  | Root_t
+  | Root_f
+  | Top of var                   (* an SSA top-level definition *)
+  | Mem of fname * loc * int     (* a memory SSA version *)
+
+type edge_kind =
+  | Eintra
+  | Ecall of label               (* callee formal -> caller actual at site *)
+  | Eret of label                (* caller result -> callee return at site *)
+
+(** Where a node is defined — consumed by the instrumentation rules. *)
+type def_site =
+  | Droot
+  | Dinstr of fname * label      (* top-level def at an instruction *)
+  | Dparam of fname              (* function formal parameter *)
+  | Dchi of fname * label        (* memory def at a store/alloc/call chi *)
+  | Dmemphi of fname * blockid   (* memory phi *)
+  | Dentry of fname              (* memory version 1: virtual input or
+                                    pseudo-entry of a local stack object *)
+
+type t = {
+  mutable nnodes : int;
+  ids : (node, int) Hashtbl.t;
+  mutable rev : node array;                     (* id -> node *)
+  mutable succs : (int * edge_kind) list array; (* dependencies of each node *)
+  mutable preds : (int * edge_kind) list array; (* dependents of each node *)
+  mutable defs : def_site array;
+  edge_seen : (int * int * edge_kind, unit) Hashtbl.t;
+  mutable nedges : int;
+}
+
+let dummy_node = Root_t
+
+let create () =
+  let t =
+    {
+      nnodes = 0;
+      ids = Hashtbl.create 1024;
+      rev = Array.make 1024 dummy_node;
+      succs = Array.make 1024 [];
+      preds = Array.make 1024 [];
+      defs = Array.make 1024 Droot;
+      edge_seen = Hashtbl.create 4096;
+      nedges = 0;
+    }
+  in
+  t
+
+let grow t n =
+  if n > Array.length t.rev then begin
+    let cap = max n (2 * Array.length t.rev) in
+    let rev = Array.make cap dummy_node in
+    Array.blit t.rev 0 rev 0 t.nnodes;
+    t.rev <- rev;
+    let succs = Array.make cap [] in
+    Array.blit t.succs 0 succs 0 t.nnodes;
+    t.succs <- succs;
+    let preds = Array.make cap [] in
+    Array.blit t.preds 0 preds 0 t.nnodes;
+    t.preds <- preds;
+    let defs = Array.make cap Droot in
+    Array.blit t.defs 0 defs 0 t.nnodes;
+    t.defs <- defs
+  end
+
+let intern t (n : node) : int =
+  match Hashtbl.find_opt t.ids n with
+  | Some id -> id
+  | None ->
+    let id = t.nnodes in
+    grow t (id + 1);
+    t.nnodes <- id + 1;
+    Hashtbl.replace t.ids n id;
+    t.rev.(id) <- n;
+    id
+
+let node_of t id = t.rev.(id)
+let find t n = Hashtbl.find_opt t.ids n
+
+let set_def t id d = t.defs.(id) <- d
+let def_of t id = t.defs.(id)
+
+let add_edge t ~(src : int) ~(dst : int) (k : edge_kind) =
+  if not (Hashtbl.mem t.edge_seen (src, dst, k)) then begin
+    Hashtbl.replace t.edge_seen (src, dst, k) ();
+    t.succs.(src) <- (dst, k) :: t.succs.(src);
+    t.preds.(dst) <- (src, k) :: t.preds.(dst);
+    t.nedges <- t.nedges + 1
+  end
+
+(** Remove every edge out of [src]; used by Opt II's rewiring. *)
+let clear_succs t (src : int) =
+  List.iter
+    (fun (dst, k) ->
+      Hashtbl.remove t.edge_seen (src, dst, k);
+      t.preds.(dst) <- List.filter (fun (s, k') -> not (s = src && k' = k)) t.preds.(dst);
+      t.nedges <- t.nedges - 1)
+    t.succs.(src);
+  t.succs.(src) <- []
+
+let succs t id = t.succs.(id)
+let preds t id = t.preds.(id)
+let nnodes t = t.nnodes
+let nedges t = t.nedges
+
+let node_to_string (p : Ir.Prog.t) (objects : Analysis.Objects.t) = function
+  | Root_t -> "T"
+  | Root_f -> "F"
+  | Top v -> Ir.Prog.var_name p v
+  | Mem (f, l, ver) ->
+    Printf.sprintf "%s:%s_%d" f (Analysis.Objects.loc_name objects l) ver
+
+let iter_nodes f t =
+  for id = 0 to t.nnodes - 1 do
+    f id t.rev.(id)
+  done
+
+(** Deep copy, so Opt II can rewire a scratch graph while guided
+    instrumentation keeps the original (Algorithm 1, line 9's caveat). *)
+let copy t =
+  {
+    nnodes = t.nnodes;
+    ids = Hashtbl.copy t.ids;
+    rev = Array.copy t.rev;
+    succs = Array.copy t.succs;
+    preds = Array.copy t.preds;
+    defs = Array.copy t.defs;
+    edge_seen = Hashtbl.copy t.edge_seen;
+    nedges = t.nedges;
+  }

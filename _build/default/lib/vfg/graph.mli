@@ -1,0 +1,66 @@
+(** The value-flow graph (§3.2): one node per SSA definition (top-level and
+    memory versions) plus the two roots T (defined) and F (undefined); an
+    edge [v -> w] records that v's value data-depends on w's.
+    Interprocedural edges carry their call-site label so definedness
+    resolution can match calls with returns. Nodes are interned to dense
+    integers. *)
+
+open Ir.Types
+
+type loc = int
+
+type node =
+  | Root_t
+  | Root_f
+  | Top of var                   (** an SSA top-level definition *)
+  | Mem of fname * loc * int     (** a memory SSA version *)
+
+type edge_kind =
+  | Eintra
+  | Ecall of label               (** callee formal -> caller actual at site *)
+  | Eret of label                (** caller result -> callee return at site *)
+
+(** Where a node is defined — consumed by the instrumentation rules. *)
+type def_site =
+  | Droot
+  | Dinstr of fname * label      (** top-level def at an instruction *)
+  | Dparam of fname              (** function formal parameter *)
+  | Dchi of fname * label        (** memory def at a store/alloc/call chi *)
+  | Dmemphi of fname * blockid   (** memory phi *)
+  | Dentry of fname              (** memory version 1: virtual input, or the
+                                     pseudo-entry of a local stack object *)
+
+type t
+
+val create : unit -> t
+
+(** Get-or-create the dense id of a node. *)
+val intern : t -> node -> int
+
+val node_of : t -> int -> node
+val find : t -> node -> int option
+
+val set_def : t -> int -> def_site -> unit
+val def_of : t -> int -> def_site
+
+(** Idempotent per (src, dst, kind). *)
+val add_edge : t -> src:int -> dst:int -> edge_kind -> unit
+
+(** Remove every edge out of [src]; used by Opt II's rewiring. *)
+val clear_succs : t -> int -> unit
+
+(** Dependencies of a node. *)
+val succs : t -> int -> (int * edge_kind) list
+
+(** Dependents of a node. *)
+val preds : t -> int -> (int * edge_kind) list
+
+val nnodes : t -> int
+val nedges : t -> int
+
+val node_to_string : Ir.Prog.t -> Analysis.Objects.t -> node -> string
+val iter_nodes : (int -> node -> unit) -> t -> unit
+
+(** Deep copy, so Opt II can rewire a scratch graph while guided
+    instrumentation keeps the original. *)
+val copy : t -> t

@@ -1,0 +1,78 @@
+(* Must Flow-from Closures (Definition 2): the DAG of top-level variables
+   feeding [x] through copies, unary/binary operations and constants. [x] is
+   the sole sink; the sources are loads, call results, parameters, phis and
+   the T root (for constants and allocation results). The closure's key
+   property: sigma(x) is exactly the conjunction of the sources' shadows.
+
+   Used by Opt I (value-flow simplification) and Opt II (redundant check
+   elimination). *)
+
+open Ir.Types
+
+type source =
+  | Svar of var     (* a top-level source variable *)
+  | Sroot_t         (* constant or allocation: always defined *)
+  | Sroot_f         (* an undef operand: always undefined *)
+
+type t = {
+  sink : var;
+  members : var list;    (* every top-level variable in the closure, sink included *)
+  sources : source list;
+  interior : int;        (* members that are not sources (sink included) *)
+}
+
+(** [compute defs x] — [defs] maps each SSA variable of the enclosing
+    function to its defining instruction kind. *)
+let compute (defs : (var, instr_kind) Hashtbl.t) (x : var) : t =
+  let members = ref [] and sources = ref [] in
+  let seen = Hashtbl.create 16 in
+  let interior = ref 0 in
+  let add_source s = if not (List.mem s !sources) then sources := s :: !sources in
+  let rec go v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      members := v :: !members;
+      match Hashtbl.find_opt defs v with
+      | Some (Copy (_, o)) | Some (Unop (_, _, o)) ->
+        incr interior;
+        operand o
+      | Some (Binop (_, _, o1, o2)) ->
+        incr interior;
+        operand o1;
+        operand o2
+      | Some (Field_addr (_, y, _)) ->
+        (* Address computations are must-flow conjunctions, exactly like
+           binary operations: sigma(&y->f) = sigma(y). *)
+        incr interior;
+        go y
+      | Some (Index_addr (_, y, o)) ->
+        incr interior;
+        go y;
+        operand o
+      | Some (Const _) | Some (Alloc _) | Some (Global_addr _)
+      | Some (Func_addr _) | Some (Input _) ->
+        (* Always-defined producers. *)
+        incr interior;
+        add_source Sroot_t
+      | Some (Load _ | Call _ | Phi _ | Store _ | Output _) | None ->
+        (* Parameters and anything that is not a pure top-level move:
+           a source of the closure. *)
+        add_source (Svar v)
+    end
+  and operand = function
+    | Var y -> go y
+    | Cst _ -> add_source Sroot_t
+    | Undef -> add_source Sroot_f
+  in
+  go x;
+  { sink = x; members = !members; sources = !sources; interior = !interior }
+
+(** Sources that are plain variables. *)
+let var_sources t =
+  List.filter_map (function Svar v -> Some v | Sroot_t | Sroot_f -> None) t.sources
+
+let has_undef_source t = List.mem Sroot_f t.sources
+
+(** Is simplification profitable: does the closure have interior structure
+    beyond the sink's own definition? *)
+let simplifiable t = t.interior >= 2

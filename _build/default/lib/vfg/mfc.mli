@@ -1,0 +1,34 @@
+(** Must Flow-from Closures (the paper's Definition 2): the DAG of top-level
+    variables feeding a sink through copies, unary/binary operations,
+    address computations and constants. The closure's key property:
+    sigma(sink) is exactly the conjunction of the sources' shadows.
+
+    Used by Opt I (value-flow simplification) and Opt II (redundant check
+    elimination). *)
+
+open Ir.Types
+
+type source =
+  | Svar of var     (** a top-level source variable (load/call/phi/param) *)
+  | Sroot_t         (** constants, allocations, globals: always defined *)
+  | Sroot_f         (** an undef operand: always undefined *)
+
+type t = {
+  sink : var;
+  members : var list;    (** every variable in the closure, sink included *)
+  sources : source list;
+  interior : int;        (** members that are not sources *)
+}
+
+(** [compute defs x] — [defs] maps each SSA variable of the enclosing
+    function to its defining instruction kind. *)
+val compute : (var, instr_kind) Hashtbl.t -> var -> t
+
+(** Sources that are plain variables. *)
+val var_sources : t -> var list
+
+val has_undef_source : t -> bool
+
+(** Is simplification profitable: interior structure beyond the sink's own
+    definition? *)
+val simplifiable : t -> bool

@@ -1,0 +1,109 @@
+(* Definedness resolution (§3.3): Γ(v) = ⊥ iff v reaches the F root along a
+   *realizable* path — interprocedural value flows must match call and
+   return edges, approximated with 1-callsite call strings (the paper's
+   configuration).
+
+   The traversal runs backwards from F over reversed edges. The context is
+   the most recent unmatched call site crossed (or Any); crossing a reversed
+   call edge (caller actual -> callee formal, i.e. entering the callee)
+   records the site; crossing a reversed return edge (callee return ->
+   caller result, i.e. leaving the callee) requires the recorded site to
+   match. This only ever *excludes* unrealizable paths, so the analysis
+   remains sound. *)
+
+type ctx = Cany | Cat of Ir.Types.label
+
+type gamma = {
+  undef : bool array;        (* Γ(v) = ⊥ *)
+  states_explored : int;
+}
+
+let is_undef (g : gamma) (id : int) = g.undef.(id)
+
+(** Generic seeded reachability over reversed edges with call/return
+    matching — the engine behind definedness resolution and any other
+    forward-flow client of the VFG (taint, leak sources, ...). [undef]
+    reads as "reached". *)
+let reach ?(context_sensitive = true) (graph : Graph.t) ~(seeds : int list) :
+    gamma =
+  let n = Graph.nnodes graph in
+  let undef = Array.make n false in
+  let states = ref 0 in
+  if seeds <> [] then begin
+    if not context_sensitive then begin
+      (* Plain reachability over reversed edges. *)
+      let work = Queue.create () in
+      List.iter
+        (fun s ->
+          undef.(s) <- true;
+          Queue.push s work)
+        seeds;
+      while not (Queue.is_empty work) do
+        let v = Queue.pop work in
+        incr states;
+        List.iter
+          (fun (u, _) ->
+            if not undef.(u) then begin
+              undef.(u) <- true;
+              Queue.push u work
+            end)
+          (Graph.preds graph v)
+      done
+    end
+    else begin
+      (* Per node: set of contexts seen; Cany subsumes every Cat. *)
+      let any_seen = Array.make n false in
+      let at_seen : (int * Ir.Types.label, unit) Hashtbl.t = Hashtbl.create 1024 in
+      let work = Queue.create () in
+      let push v ctx =
+        match ctx with
+        | Cany ->
+          if not any_seen.(v) then begin
+            any_seen.(v) <- true;
+            undef.(v) <- true;
+            Queue.push (v, Cany) work
+          end
+        | Cat l ->
+          if (not any_seen.(v)) && not (Hashtbl.mem at_seen (v, l)) then begin
+            Hashtbl.replace at_seen (v, l) ();
+            undef.(v) <- true;
+            Queue.push (v, ctx) work
+          end
+      in
+      List.iter (fun s -> push s Cany) seeds;
+      while not (Queue.is_empty work) do
+        let v, ctx = Queue.pop work in
+        incr states;
+        (* If Cany arrived after this Cat state was queued, skip: Cany will
+           (or did) explore strictly more. *)
+        let stale = match ctx with Cat _ -> any_seen.(v) | Cany -> false in
+        if not stale then
+          List.iter
+            (fun (u, kind) ->
+              (* Reversed edge: forward u -> v; we propagate F-reachability
+                 from v up to u. *)
+              match kind with
+              | Graph.Eintra -> push u ctx
+              | Graph.Ecall l ->
+                (* Entering the callee (u is the callee formal). *)
+                push u (Cat l)
+              | Graph.Eret l -> (
+                (* Leaving the callee towards call site l. *)
+                match ctx with
+                | Cany -> push u Cany
+                | Cat l' -> if l = l' then push u Cany))
+            (Graph.preds graph v)
+      done
+    end
+  end;
+  { undef; states_explored = !states }
+
+let resolve ?context_sensitive (graph : Graph.t) : gamma =
+  let seeds =
+    match Graph.find graph Graph.Root_f with Some id -> [ id ] | None -> []
+  in
+  reach ?context_sensitive graph ~seeds
+
+(** Count of ⊥ nodes, for precision ablations. *)
+let undef_count (g : gamma) =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 g.undef

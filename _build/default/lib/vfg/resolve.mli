@@ -1,0 +1,23 @@
+(** Definedness resolution (§3.3): [Gamma(v) = bot] iff v reaches the F root
+    along a realizable path — interprocedural flows must match call and
+    return edges, approximated with 1-callsite call strings (the paper's
+    configuration). Matching only ever excludes unrealizable paths, so the
+    analysis stays sound. *)
+
+type gamma = {
+  undef : bool array;        (** Γ(v) = ⊥, indexed by node id *)
+  states_explored : int;
+}
+
+val is_undef : gamma -> int -> bool
+
+(** Generic seeded reachability over reversed edges with call/return
+    matching — the engine behind {!resolve} and other forward-flow clients
+    of the VFG (e.g. {!Client_taint}). [undef] reads as "reached from a
+    seed along a realizable path". *)
+val reach : ?context_sensitive:bool -> Graph.t -> seeds:int list -> gamma
+
+val resolve : ?context_sensitive:bool -> Graph.t -> gamma
+
+(** Count of ⊥ nodes, for precision ablations. *)
+val undef_count : gamma -> int

@@ -1,0 +1,510 @@
+(* TinyC program generator: assembles a benchmark program from the
+   code-pattern modules described in Profile. Output is deterministic in
+   (profile, scale).
+
+   Every module is built so the *runtime* never actually consumes garbage
+   unless the profile asks for the seeded bug: conditionally-initialized
+   scalars are always initialized on the path taken at run time (their
+   static state is still ⊥, so instrumentation stays), and truly
+   uninitialized data only flows into dead branches. This keeps the
+   generated corpus false-positive-free, like the paper's benchmarks (one
+   true positive in 197.parser). *)
+
+type ctx = {
+  buf : Buffer.t;
+  rng : Rng.t;
+  prof : Profile.t;
+  mutable uid : int;
+  mutable calls : string list;       (* main-body call statements, reversed *)
+  mutable globals_init : string list;
+  mutable cfg_vals : int list;       (* global configuration cells *)
+}
+
+let pf ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf s) fmt
+
+let fresh ctx prefix =
+  ctx.uid <- ctx.uid + 1;
+  Printf.sprintf "%s_%d" prefix ctx.uid
+
+let add_call ctx s = ctx.calls <- s :: ctx.calls
+
+(* Iteration counts are routed through a global configuration array, the way
+   real benchmarks read them from argv/files: loop bounds become
+   memory-derived (⊥ for Usher_TL, provably defined for Usher_TL+AT). *)
+let cfg_slot ctx n =
+  let idx = List.length ctx.cfg_vals in
+  ctx.cfg_vals <- ctx.cfg_vals @ [ n ];
+  Printf.sprintf "cfg[%d]" idx
+
+(* An arithmetic chain of [len] temporaries over the seed expression [e0];
+   returns the name of the last temporary. Chains are Opt I fodder: interior
+   copies/binops collapse to a conjunction of sources. *)
+let emit_chain ctx ~indent ~len ~seed_expr ~extra =
+  let t0 = fresh ctx "t" in
+  pf ctx "%sint %s = %s;\n" indent t0 seed_expr;
+  let prev = ref t0 in
+  for _ = 2 to len do
+    let t = fresh ctx "t" in
+    let op =
+      match Rng.int ctx.rng 5 with
+      | 0 -> Printf.sprintf "%s + %s" !prev extra
+      | 1 -> Printf.sprintf "%s * 3 - %s" !prev extra
+      | 2 -> Printf.sprintf "(%s >> 1) + %s" !prev !prev
+      | 3 -> Printf.sprintf "%s ^ (%s << 1)" !prev extra
+      | _ -> Printf.sprintf "%s - (%s >> 2)" !prev extra
+    in
+    pf ctx "%sint %s = %s;\n" indent t op;
+    prev := t
+  done;
+  !prev
+
+(* --- module emitters; each returns the name of its entry function --- *)
+
+(* A 64-cell global array plus a global pointer to it. Kernels access the
+   array through the pointer: loading the base pointer makes the hot
+   addresses ⊥ under Usher_TL (memory-derived), while Usher_TL+AT proves the
+   pointer and the data defined — the paper's motivation for analysing
+   address-taken variables. *)
+let emit_global_array ctx =
+  let g = fresh ctx "garr" in
+  pf ctx "int %s[64];\nint *gp%s;\n" g g;
+  ctx.globals_init <-
+    Printf.sprintf
+      "  for (i = 0; i < 64; i = i + 1) { %s[i] = i * 7 + %d; }\n  gp%s = %s;\n"
+      g (Rng.int ctx.rng 100) g g
+    :: ctx.globals_init;
+  g
+
+(* Memory-heavy kernel over provably defined data: global arrays are
+   default-initialized and only ever store defined values, so every load,
+   store and derived branch here resolves to ⊤ and is pruned by
+   Usher_TL+AT (but not by Usher_TL, which distrusts all memory). *)
+let emit_hot_defined ctx ~garr ~garr2 =
+  let f = fresh ctx "hotd" in
+  pf ctx "int %s(int n) {\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  int *ba = gp%s;\n  int *bb = gp%s;\n" garr garr2;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    int j = i %% 59;\n";
+  pf ctx "    int a = ba[j];\n    int b = bb[j + 1];\n    int c = ba[j + 2];\n";
+  (* Dead at O1+ (removed by DCE); executed and shadowed at O0+IM, like the
+     redundancy unoptimized real code carries. *)
+  pf ctx "    int dd1 = a * 5 + b;\n    int dd2 = (dd1 << 1) ^ c;\n";
+  pf ctx "    int dd3 = dd2 - a;\n";
+  let last =
+    emit_chain ctx ~indent:"    " ~len:2 ~seed_expr:"a + b" ~extra:"c"
+  in
+  pf ctx "    ba[j + 3] = %s %% 4096;\n" last;
+  pf ctx "    bb[j] = (a + c) %% 4096;\n";
+  pf ctx "    s = s + %s;\n" last;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+(* Memory-heavy kernel over data the analysis cannot prove defined: a
+   stack array is alloc_F and collapsed (arrays are analysed as a whole),
+   so its loads stay ⊥ and every variant keeps the loop instrumented. The
+   buffer *is* fully initialized at run time — no false positives. *)
+let emit_hot_undef ctx =
+  let f = fresh ctx "hotu" in
+  pf ctx
+    "int %s(int n) {\n  int buf[32];\n  int buf2[32];\n  int i;\n  int s = 0;\n"
+    f;
+  pf ctx
+    "  for (i = 0; i < 32; i = i + 1) { buf[i] = i * 2 + %d; buf2[i] = i + 1; }\n"
+    (Rng.int ctx.rng 50);
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  (* Three independent data-dependent index families, like hash-bucket or
+     dispatch-table hopping: each family's first ⊥-pointer check dominates
+     only its own later accesses, so Opt II trims within a family but the
+     independent families all stay instrumented. *)
+  pf ctx "    int j = (buf[i %% 29] & 255) %% 27;\n";
+  pf ctx "    int k = (buf2[(i + 7) %% 29] & 255) %% 27;\n";
+  pf ctx "    int m = (buf[(i + 13) %% 29] & 255) %% 27;\n";
+  pf ctx "    int a = buf[j];\n    int b = buf2[k + 1];\n    int c = buf[m + 2];\n";
+  pf ctx "    int du1 = a * 7 - b;\n    int du2 = du1 ^ (c << 2);\n";
+  let last =
+    emit_chain ctx ~indent:"    " ~len:2 ~seed_expr:"a + b" ~extra:"c"
+  in
+  pf ctx "    buf[j + 3] = %s & 4095;\n" last;
+  pf ctx "    buf2[k] = (a + c) & 4095;\n";
+  pf ctx "    buf2[m] = (b + %s) & 4095;\n" last;
+  pf ctx "    s = s + %s;\n" last;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_cond_chain ctx =
+  let f = fresh ctx "cond" in
+  pf ctx "int %s(int n, int sel) {\n  int v;\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  if (sel > 0) { v = sel * 3 + %d; }\n" (Rng.int ctx.rng 20);
+  pf ctx "  int w = v + 1;\n";
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  let last =
+    emit_chain ctx ~indent:"    " ~len:ctx.prof.chain_len ~seed_expr:"w + i"
+      ~extra:"w"
+  in
+  pf ctx "    if (%s > i) { s = s + 1; } else { s = s + 2; }\n" last;
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_redundant ctx =
+  let f = fresh ctx "red" in
+  pf ctx "int %s(int n, int sel) {\n  int v;\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  if (sel > 1) { v = %d; }\n" (5 + Rng.int ctx.rng 20);
+  pf ctx "  if (v > 0) { s = 1; } else { s = 2; }\n";
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    int u = v + i;\n";
+  pf ctx "    if (u > 3) { s = s + 1; }\n";
+  pf ctx "    int w = v * 2 + s;\n";
+  pf ctx "    if (w > 9) { s = s + 2; }\n";
+  pf ctx "    int q = v ^ i;\n";
+  pf ctx "    if (q > 5) { s = s + 3; }\n";
+  pf ctx "    int r = v - i;\n";
+  pf ctx "    if (r > 1) { s = s + 1; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_ptr_mix ctx =
+  let f = fresh ctx "pmix" in
+  pf ctx "int %s(int n, int sel) {\n" f;
+  pf ctx "  int x;\n  int y;\n  int *p;\n  int i;\n  int s = 0;\n";
+  pf ctx "  x = 1;\n";
+  pf ctx "  if (sel > 0) { y = 2; }\n";
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    if (i %% 2 > 0) { p = &x; } else { p = &y; }\n";
+  pf ctx "    *p = *p + 1;\n";
+  pf ctx "    s = s + *p;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_semi_loop ctx =
+  let f = fresh ctx "semi" in
+  pf ctx "int %s(int n) {\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    int *q = (int*)malloc(1);\n";
+  pf ctx "    *q = i * 3 + %d;\n" (Rng.int ctx.rng 30);
+  pf ctx "    s = s + *q;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_wrapper ctx =
+  let w = fresh ctx "wcell" in
+  let alloc = if Rng.pct ctx.rng ctx.prof.pct_calloc then "calloc" else "malloc" in
+  pf ctx "int *%s(int v) {\n  int *p = (int*)%s(1);\n  *p = v;\n  return p;\n}\n\n"
+    w alloc;
+  let f = fresh ctx "usew" in
+  pf ctx "int %s(int n) {\n" f;
+  pf ctx "  int s = 0;\n  int i;\n";
+  pf ctx "  int *a = %s(3);\n  int *b = %s(4);\n" w w;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    *a = *a + 1;\n";
+  pf ctx "    s = s + *a + *b;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_struct_mod ctx =
+  let sname = fresh ctx "S" in
+  let f = fresh ctx "smod" in
+  pf ctx "struct %s { int fa; int fb; int fc; };\n" sname;
+  pf ctx "int %s(int n) {\n" f;
+  pf ctx "  struct %s *o = (struct %s*)malloc(sizeof(struct %s));\n" sname sname sname;
+  pf ctx "  int i;\n  int s = 0;\n";
+  pf ctx "  o->fa = %d;\n  o->fb = 2;\n" (1 + Rng.int ctx.rng 9);
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    s = s + o->fa + o->fb + i;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_array_mod ctx =
+  let f = fresh ctx "amod" in
+  let sz = 16 + (8 * Rng.int ctx.rng 4) in
+  pf ctx "int %s(int n) {\n  int buf[%d];\n  int i;\n  int s = 0;\n" f sz;
+  pf ctx "  for (i = 0; i < %d; i = i + 1) { buf[i] = i + %d; }\n" sz
+    (Rng.int ctx.rng 30);
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    s = s + buf[i %% %d];\n" sz;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+(* Call-dense hot loop over provably defined memory: MSan and Usher_TL
+   shadow the parameter/return relays every iteration; Usher_TL+AT proves
+   the whole flow ⊤ and drops it. The runtime-dead cold call feeds an
+   undefined argument into the same helper: only context-sensitive
+   resolution keeps the hot call site clean. *)
+let emit_deep_chain ctx ~garr =
+  let h = fresh ctx "pass" in
+  pf ctx "int %s(int x, int y) { return x * 2 + y; }\n\n" h;
+  let f = fresh ctx "deep" in
+  pf ctx "int %s(int n, int sel) {\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  int *ba = gp%s;\n" garr;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    int j = i %% 60;\n";
+  pf ctx "    s = s + %s(ba[j], ba[j + 1]);\n" h;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n";
+  pf ctx "  if (sel > 99) {\n    int u;\n    s = s + %s(u, 1);\n  }\n" h;
+  pf ctx "  return s;\n}\n\n";
+  f
+
+let emit_fp_dispatch ctx =
+  let fa = fresh ctx "fa" and fb = fresh ctx "fb" in
+  pf ctx "int %s(int x) { return x + %d; }\n" fa (Rng.int ctx.rng 10);
+  pf ctx "int %s(int x) { return x * 2; }\n\n" fb;
+  let ap = fresh ctx "apply" in
+  pf ctx "int %s(int *f, int x) { return f(x); }\n\n" ap;
+  let f = fresh ctx "disp" in
+  pf ctx "int %s(int n) {\n  int s = 0;\n  int i;\n" f;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    if (i %% 2 > 0) { s = s + %s((int*)%s, i); }\n" ap fa;
+  pf ctx "    else { s = s + %s((int*)%s, i); }\n" ap fb;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+(* Pointer-chasing over a circular linked list of calloc'd nodes: both the
+   payload and the next-pointers load as provably defined, so Usher_TL+AT
+   prunes the walk entirely, while Usher_TL (which distrusts memory) pays a
+   pointer check and shadow load per hop — the dominant cost of real
+   pointer-dense hot loops (181.mcf's network simplex is exactly this). *)
+let emit_list_defined ctx =
+  let sn = fresh ctx "LN" in
+  pf ctx "struct %s { int val; struct %s *next; };\n\n" sn sn;
+  let f = fresh ctx "lwalk" in
+  pf ctx "int %s(int n) {\n" f;
+  pf ctx "  struct %s *head = (struct %s*)calloc(sizeof(struct %s));\n" sn sn sn;
+  pf ctx "  head->val = 1;\n  head->next = head;\n  int i;\n";
+  pf ctx "  for (i = 0; i < 8; i = i + 1) {\n";
+  pf ctx "    struct %s *nd = (struct %s*)calloc(sizeof(struct %s));\n" sn sn sn;
+  pf ctx "    nd->val = i + 2;\n    nd->next = head->next;\n    head->next = nd;\n";
+  pf ctx "  }\n";
+  pf ctx "  int s = 0;\n  struct %s *p = head;\n" sn;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    s = s + p->val;\n    p = p->next;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+(* Pointer-chasing over malloc'd nodes whose fields are initialized only
+   behind a (runtime-true, statically opaque) condition: the walk stays ⊥
+   for every variant. Hot unprunable pointer traffic — the 253.perlbmk
+   shape. *)
+let emit_list_undef ctx =
+  let sn = fresh ctx "MN" in
+  pf ctx "struct %s { int val; struct %s *next; };\n\n" sn sn;
+  let f = fresh ctx "mwalk" in
+  pf ctx "int %s(int n, int sel) {\n" f;
+  pf ctx "  struct %s *head = (struct %s*)malloc(sizeof(struct %s));\n" sn sn sn;
+  pf ctx "  if (sel > 0) { head->val = 1; head->next = head; }\n";
+  pf ctx "  int i;\n";
+  pf ctx "  for (i = 0; i < 8; i = i + 1) {\n";
+  pf ctx "    struct %s *nd = (struct %s*)malloc(sizeof(struct %s));\n" sn sn sn;
+  pf ctx "    if (sel > 0) { nd->val = i + 2; nd->next = head->next; head->next = nd; }\n";
+  pf ctx "  }\n";
+  pf ctx "  int s = 0;\n  struct %s *p = head;\n" sn;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    s = s + p->val;\n    p = p->next;\n";
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+(* Call-dense hot loop whose arguments come from a ⊥ stack buffer: the
+   parameter/return shadow relays survive every variant — the
+   interpreter-loop shape that makes 253.perlbmk the worst case for both
+   MSan and Usher. *)
+let emit_deep_undef ctx =
+  let h = fresh ctx "huk" in
+  pf ctx "int %s(int a, int b, int c) { return a * 2 + b - c; }\n\n" h;
+  let f = fresh ctx "duk" in
+  pf ctx "int %s(int n) {\n  int buf[32];\n  int i;\n  int s = 0;\n" f;
+  pf ctx "  for (i = 0; i < 32; i = i + 1) { buf[i] = i * 3 + %d; }\n"
+    (Rng.int ctx.rng 40);
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    int j = (buf[i %% 29] & 255) %% 27;\n";
+  pf ctx "    s = s + %s(buf[j], buf[j + 1], j);\n" h;
+  pf ctx "    if (s > 1048576) { s = s - 1048576; }\n";
+  pf ctx "  }\n  return s;\n}\n\n";
+  f
+
+let emit_global_mod ctx =
+  let g = fresh ctx "gacc" in
+  pf ctx "int %s = 0;\n" g;
+  let f = fresh ctx "gmod" in
+  pf ctx "int %s(int n) {\n  int i;\n" f;
+  pf ctx "  for (i = 0; i < n; i = i + 1) {\n";
+  pf ctx "    %s = %s + i;\n" g g;
+  pf ctx "    if (%s > 1048576) { %s = %s - 1048576; }\n" g g g;
+  pf ctx "  }\n  return %s;\n}\n\n" g;
+  f
+
+(* Cold functions for size scaling, in three flavours matching the texture
+   of real cold code (they shape Table 1's object/store columns and the
+   static Figure-11 ratios; they run once, so dynamics are unaffected):
+
+   - ~45%: a ⊥ stack buffer feeds chains and checks that survive pruning
+     under every variant (argument values arrive via the cfg array);
+   - ~35%: a dedicated initialized global scalar, read and strongly
+     updated — provably defined, fully pruned (and the source of the
+     paper's %SU strong-update rate);
+   - ~20%: plain straight-line arithmetic over the (memory-derived)
+     arguments. *)
+let emit_filler ctx =
+  let f = fresh ctx "fill" in
+  let flavour = Rng.int ctx.rng 100 in
+  if flavour < 55 then begin
+    pf ctx "int %s(int a, int b) {\n" f;
+    pf ctx "  int tmp[8];\n  int i;\n";
+    pf ctx "  for (i = 0; i < (b & 7) + 1; i = i + 1) { tmp[i] = a + i * 3; }\n";
+    pf ctx "  int z = tmp[b & 7];\n";
+    let last = emit_chain ctx ~indent:"  " ~len:(2 + Rng.int ctx.rng 3)
+        ~seed_expr:"z + a" ~extra:"a" in
+    pf ctx "  int r = %s + b;\n" last;
+    pf ctx "  int y2 = tmp[z %% ((b & 7) + 1)];\n";
+    pf ctx "  int y3 = y2 ^ z;\n";
+    pf ctx "  if (y3 > a) { r = r + 1; }\n";
+    pf ctx "  if (y2 > z) { r = r + 2; }\n";
+    pf ctx "  int y4 = tmp[(y2 & 3) %% ((b & 7) + 1)];\n";
+    pf ctx "  if (y4 > y3) { r = r + 4; }\n";
+    pf ctx "  if (y4 + y2 > r) { r = r - 3; }\n";
+    pf ctx "  int v;\n";
+    pf ctx "  if (z > 3) { v = %s + 1; }\n" last;
+    pf ctx "  if (v > b) { r = r + v; }\n";
+    pf ctx "  if (%s > z) { r = r - b; }\n" last;
+    pf ctx "  return r;\n}\n\n"
+  end
+  else if flavour < 90 then begin
+    let g = fresh ctx "gf" in
+    let g2 = fresh ctx "gg" in
+    pf ctx "int %s = %d;\nint %s = %d;\n" g (1 + Rng.int ctx.rng 50) g2
+      (Rng.int ctx.rng 20);
+    pf ctx "int %s(int a, int b) {\n" f;
+    let last = emit_chain ctx ~indent:"  " ~len:2
+        ~seed_expr:(Printf.sprintf "a + %s" g) ~extra:"b" in
+    pf ctx "  %s = %s & 4095;\n" g last;
+    pf ctx "  if (%s > b) { %s = %s - b; }\n" g g g;
+    pf ctx "  %s = %s + %s;\n" g2 g2 g;
+    pf ctx "  %s = %s + 1;\n" g g;
+    pf ctx "  if (%s > 65536) { %s = 0; }\n" g2 g2;
+    pf ctx "  return %s + a + %s;\n}\n\n" g g2
+  end
+  else begin
+    pf ctx "int %s(int a, int b) {\n" f;
+    let last = emit_chain ctx ~indent:"  " ~len:(3 + Rng.int ctx.rng 5)
+        ~seed_expr:"a + b * 2" ~extra:"b" in
+    pf ctx "  return %s > a ? %s - a : %s + b;\n}\n\n" last last last
+  end;
+  f
+
+let emit_bug ctx =
+  let f = fresh ctx "ppmatch" in
+  pf ctx "int %s(int d) {\n  int v;\n  int s = 0;\n" f;
+  pf ctx "  if (v > d) { s = 1; } else { s = 2; }\n";
+  pf ctx "  return s;\n}\n\n";
+  f
+
+(* ------------------------------------------------------------------ *)
+
+(** Generate the benchmark's TinyC source. [scale] plays the role of the
+    reference input: iteration counts are proportional to it (100 = the
+    profile's nominal counts). *)
+let generate ?(scale = 100) (prof : Profile.t) : string =
+  let ctx =
+    {
+      buf = Buffer.create 65536;
+      rng = Rng.create prof.seed;
+      prof;
+      uid = 0;
+      calls = [];
+      globals_init = [];
+      cfg_vals = [];
+    }
+  in
+  pf ctx "// %s analog — generated deterministically (seed %d, scale %d)\n"
+    prof.pname prof.seed scale;
+  let hot = max 1 (prof.hot_iters * scale / 100) in
+  let hotu = max 1 (prof.undef_iters * scale / 100) in
+  let cold = max 1 (prof.cold_iters * scale / 100) in
+  let garrs =
+    List.init (max 1 prof.global_arrays) (fun _ -> emit_global_array ctx)
+  in
+  let call1 f n =
+    add_call ctx (Printf.sprintf "acc = (acc + %s(%s)) %% 1048576;" f (cfg_slot ctx n))
+  and call2 f n m =
+    add_call ctx
+      (Printf.sprintf "acc = (acc + %s(%s, %d)) %% 1048576;" f (cfg_slot ctx n) m)
+  in
+  let ngarrs = List.length garrs in
+  for k = 0 to prof.hot_defined - 1 do
+    let g = List.nth garrs (k mod ngarrs) in
+    let g2 = List.nth garrs ((k + 1) mod ngarrs) in
+    call1 (emit_hot_defined ctx ~garr:g ~garr2:g2) hot
+  done;
+  for _ = 1 to prof.hot_undef do
+    call1 (emit_hot_undef ctx) hotu
+  done;
+  for _ = 1 to prof.cond_chains do
+    call2 (emit_cond_chain ctx) hotu 1
+  done;
+  for _ = 1 to prof.redundant do
+    call2 (emit_redundant ctx) hotu 2
+  done;
+  for _ = 1 to prof.ptr_mix do
+    call2 (emit_ptr_mix ctx) hotu 1
+  done;
+  for _ = 1 to prof.lists_defined do
+    call1 (emit_list_defined ctx) hot
+  done;
+  for _ = 1 to prof.lists_undef do
+    call2 (emit_list_undef ctx) hotu 1
+  done;
+  for _ = 1 to prof.deep_undef do
+    call1 (emit_deep_undef ctx) hotu
+  done;
+  for _ = 1 to prof.semi_loops do
+    call1 (emit_semi_loop ctx) cold
+  done;
+  for _ = 1 to prof.wrappers do
+    call1 (emit_wrapper ctx) cold
+  done;
+  for _ = 1 to prof.struct_mods do
+    call1 (emit_struct_mod ctx) cold
+  done;
+  for _ = 1 to prof.array_mods do
+    call1 (emit_array_mod ctx) hotu
+  done;
+  for k = 0 to prof.deep_chains - 1 do
+    let g = List.nth garrs (k mod ngarrs) in
+    call2 (emit_deep_chain ctx ~garr:g) hot 1
+  done;
+  for _ = 1 to prof.fp_dispatch do
+    call1 (emit_fp_dispatch ctx) cold
+  done;
+  for _ = 1 to prof.global_mods do
+    call1 (emit_global_mod ctx) cold
+  done;
+  for k = 1 to prof.filler do
+    let f = emit_filler ctx in
+    let s1 = cfg_slot ctx (k + 5) and s2 = cfg_slot ctx k in
+    add_call ctx (Printf.sprintf "acc = (acc + %s(%s, %s)) %% 1048576;" f s1 s2)
+  done;
+  if prof.bug then begin
+    let f = emit_bug ctx in
+    add_call ctx (Printf.sprintf "acc = (acc + %s(7)) %% 1048576;" f)
+  end;
+  (* Globals initialization (for value realism; globals are defined anyway). *)
+  pf ctx "int cfg[%d];\n" (max 1 (List.length ctx.cfg_vals));
+  let cfg_init =
+    String.concat ""
+      (List.mapi (fun i n -> Printf.sprintf "  cfg[%d] = %d;\n" i n) ctx.cfg_vals)
+  in
+  pf ctx "void init_globals() {\n  int i;\n%s%s}\n\n"
+    (String.concat "" (List.rev ctx.globals_init))
+    cfg_init;
+  pf ctx "int main() {\n  int acc = 0;\n  init_globals();\n";
+  List.iter (fun c -> pf ctx "  %s\n" c) (List.rev ctx.calls);
+  pf ctx "  print(acc);\n  return 0;\n}\n";
+  Buffer.contents ctx.buf

@@ -1,0 +1,14 @@
+(** TinyC program generator: assembles a benchmark program from the
+    code-pattern modules described in {!Profile}. Output is deterministic
+    in (profile, scale).
+
+    Every module is built so the runtime never consumes garbage unless the
+    profile asks for the seeded bug: conditionally-initialized scalars are
+    always initialized on the path taken at run time (their static state is
+    still ⊥), and truly uninitialized data only flows into dead branches —
+    a false-positive-free corpus, like the paper's (one true positive in
+    197.parser). *)
+
+(** [generate ?scale profile] — [scale] plays the role of the reference
+    input: iteration counts are proportional to it (100 = nominal). *)
+val generate : ?scale:int -> Profile.t -> string

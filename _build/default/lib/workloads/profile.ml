@@ -1,0 +1,75 @@
+(* Per-benchmark generation profiles.
+
+   Each SPEC CPU2000 C benchmark is modelled by a deterministic TinyC
+   program assembled from code-pattern modules. The profile's knobs encode
+   the characteristics that drive every number in the paper's evaluation:
+
+   - how much of the hot path computes over *provably defined* data (global
+     or calloc'd or semi-strong-rescued memory) — these flows Usher prunes;
+   - how much computes over data that stays ⊥ statically (uninitialized
+     stack arrays, conditionally-initialized scalars) — these flows every
+     variant must instrument;
+   - pointer aliasing patterns (strong vs weak updates), allocation
+     wrappers (heap cloning), field use (field sensitivity), call structure
+     (context sensitivity, inlining of function-pointer arguments);
+   - dynamic iteration counts standing in for the reference inputs. *)
+
+type t = {
+  pname : string;
+  seed : int;
+  (* module counts *)
+  hot_defined : int;      (* kernels over provably defined data (prunable) *)
+  hot_undef : int;        (* kernels over statically-⊥ data (not prunable) *)
+  cond_chains : int;      (* conditionally-initialized scalar chains *)
+  chain_len : int;        (* arithmetic chain length (Opt I fodder) *)
+  redundant : int;        (* dominated-check groups (Opt II fodder) *)
+  ptr_mix : int;          (* aliased stores: strong/weak update mix *)
+  lists_defined : int;    (* pointer chasing over calloc'd nodes (top memory) *)
+  lists_undef : int;      (* pointer chasing over partially-undef malloc'd nodes *)
+  semi_loops : int;       (* Fig. 6 allocation-in-loop patterns *)
+  wrappers : int;         (* allocation wrapper functions (heap cloning) *)
+  struct_mods : int;      (* field-sensitive partial initialization *)
+  array_mods : int;       (* stack-array sweeps (collapsed, stay ⊥) *)
+  deep_chains : int;      (* call chains (context sensitivity) *)
+  deep_undef : int;       (* call-dense hot loops with unprovable arguments *)
+  fp_dispatch : int;      (* function-pointer dispatch (inlining) *)
+  global_mods : int;      (* global scalar state updates *)
+  filler : int;           (* plain functions for size scaling *)
+  (* data shape *)
+  pct_calloc : int;       (* % of heap allocations that are calloc *)
+  global_arrays : int;
+  (* dynamics: iteration counts at scale = 100 *)
+  hot_iters : int;        (* iterations of provably-defined kernels *)
+  undef_iters : int;      (* iterations of statically-⊥ kernels *)
+  cold_iters : int;
+  bug : bool;             (* embed the 197.parser ppmatch() analog *)
+}
+
+let default =
+  {
+    pname = "bench";
+    seed = 1;
+    hot_defined = 4;
+    hot_undef = 2;
+    cond_chains = 3;
+    chain_len = 2;
+    redundant = 2;
+    ptr_mix = 3;
+    lists_defined = 1;
+    lists_undef = 1;
+    semi_loops = 2;
+    wrappers = 1;
+    struct_mods = 2;
+    array_mods = 2;
+    deep_chains = 2;
+    deep_undef = 0;
+    fp_dispatch = 1;
+    global_mods = 2;
+    filler = 6;
+    pct_calloc = 30;
+    global_arrays = 3;
+    hot_iters = 400;
+    undef_iters = 200;
+    cold_iters = 40;
+    bug = false;
+  }

@@ -1,0 +1,29 @@
+(* Deterministic splittable PRNG (SplitMix64-style over OCaml's 63-bit
+   ints). Workload generation never touches the global Random state, so
+   every benchmark program is byte-identical across runs. *)
+
+type t = { mutable state : int }
+
+let create seed = { state = (seed * 0x9e3779b9) lxor 0x2545f491 }
+
+let next t =
+  let z = t.state + 0x9e3779b97f4a7c1 in
+  t.state <- z;
+  let z = (z lxor (z lsr 30)) * 0xbf58476d1ce4e5b in
+  let z = (z lxor (z lsr 27)) * 0x94d049bb133111e in
+  (z lxor (z lsr 31)) land max_int
+
+(** Uniform in [0, n). *)
+let int t n = if n <= 0 then 0 else next t mod n
+
+(** Uniform in [lo, hi]. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 1
+
+(** True with probability pct/100. *)
+let pct t p = int t 100 < p
+
+let split t = create (next t)
+
+let choose t l = List.nth l (int t (List.length l))

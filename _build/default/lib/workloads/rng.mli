@@ -1,0 +1,22 @@
+(** Deterministic splittable PRNG (SplitMix64-style). Workload generation
+    never touches the global [Random] state, so every benchmark program is
+    byte-identical across runs. *)
+
+type t
+
+val create : int -> t
+val next : t -> int
+
+(** Uniform in [0, n). *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi]. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** True with probability pct/100. *)
+val pct : t -> int -> bool
+
+val split : t -> t
+val choose : t -> 'a list -> 'a

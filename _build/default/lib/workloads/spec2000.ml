@@ -1,0 +1,125 @@
+(* The 15 SPEC CPU2000 C benchmark analogs (DESIGN.md §2): per-benchmark
+   profiles whose knobs encode the workload characteristics that drive the
+   paper's evaluation — how much of the hot path is provably defined (Usher
+   prunes it), how much stays statically ⊥ (everyone instruments it),
+   aliasing and allocation structure, and size. KLOC-scale sizes are the
+   real benchmarks' divided by ~20 (filler functions make up the bulk, as
+   cold code does in the real suites). *)
+
+open Profile
+
+let d = Profile.default
+
+let gzip =
+  { d with pname = "164.gzip"; seed = 164;
+    hot_defined = 3; hot_undef = 2; cond_chains = 1; redundant = 1;
+    ptr_mix = 1; lists_defined = 1; lists_undef = 1; semi_loops = 1; wrappers = 1; struct_mods = 1; array_mods = 2;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 2; filler = 50;
+    global_arrays = 3; pct_calloc = 20; hot_iters = 206; undef_iters = 1890; bug = false }
+
+let vpr =
+  { d with pname = "175.vpr"; seed = 175;
+    hot_defined = 3; hot_undef = 2; cond_chains = 2; redundant = 2;
+    ptr_mix = 2; lists_defined = 1; lists_undef = 1; semi_loops = 2; wrappers = 1; struct_mods = 2; array_mods = 2;
+    deep_chains = 2; deep_undef = 1; fp_dispatch = 1; global_mods = 2; filler = 105;
+    global_arrays = 3; pct_calloc = 30; hot_iters = 173; undef_iters = 2205}
+
+let gcc =
+  { d with pname = "176.gcc"; seed = 176;
+    hot_defined = 5; hot_undef = 4; cond_chains = 5; chain_len = 3; redundant = 4;
+    ptr_mix = 5; lists_defined = 2; lists_undef = 2; semi_loops = 3; wrappers = 3; struct_mods = 5; array_mods = 4;
+    deep_chains = 4; deep_undef = 2; fp_dispatch = 3; global_mods = 5; filler = 700;
+    global_arrays = 6; pct_calloc = 35; hot_iters = 123; undef_iters = 2518}
+
+let mesa =
+  { d with pname = "177.mesa"; seed = 177;
+    hot_defined = 6; hot_undef = 1; cond_chains = 1; redundant = 2;
+    ptr_mix = 1; lists_defined = 2; lists_undef = 0; semi_loops = 2; wrappers = 2; struct_mods = 3; array_mods = 1;
+    deep_chains = 2; fp_dispatch = 2; global_mods = 3; filler = 360;
+    global_arrays = 5; pct_calloc = 40; hot_iters = 450; undef_iters = 375}
+
+let art =
+  { d with pname = "179.art"; seed = 179;
+    hot_defined = 4; hot_undef = 1; cond_chains = 1; redundant = 1;
+    ptr_mix = 0; lists_defined = 1; lists_undef = 0; semi_loops = 1; wrappers = 1; struct_mods = 0; array_mods = 1;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 1; filler = 7;
+    global_arrays = 4; pct_calloc = 60; hot_iters = 540; undef_iters = 180}
+
+let mcf =
+  { d with pname = "181.mcf"; seed = 181;
+    hot_defined = 6; hot_undef = 0; cond_chains = 0; redundant = 1;
+    ptr_mix = 0; lists_defined = 3; lists_undef = 0; semi_loops = 1; wrappers = 1; struct_mods = 1; array_mods = 0;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 3; filler = 14;
+    global_arrays = 5; pct_calloc = 70; hot_iters = 800; undef_iters = 5; cold_iters = 10 }
+
+let equake =
+  { d with pname = "183.equake"; seed = 183;
+    hot_defined = 4; hot_undef = 1; cond_chains = 1; redundant = 1;
+    ptr_mix = 1; lists_defined = 1; lists_undef = 0; semi_loops = 1; wrappers = 1; struct_mods = 1; array_mods = 1;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 2; filler = 9;
+    global_arrays = 3; pct_calloc = 50; hot_iters = 450; undef_iters = 375}
+
+let crafty =
+  { d with pname = "186.crafty"; seed = 186;
+    hot_defined = 4; hot_undef = 3; cond_chains = 2; chain_len = 3; redundant = 2;
+    ptr_mix = 1; lists_defined = 1; lists_undef = 1; semi_loops = 1; wrappers = 1; struct_mods = 1; array_mods = 3;
+    deep_chains = 2; deep_undef = 1; fp_dispatch = 1; global_mods = 5; filler = 125;
+    global_arrays = 6; pct_calloc = 20; hot_iters = 185; undef_iters = 2835}
+
+let ammp =
+  { d with pname = "188.ammp"; seed = 188;
+    hot_defined = 2; hot_undef = 2; cond_chains = 2; chain_len = 3; redundant = 1;
+    ptr_mix = 2; lists_defined = 2; lists_undef = 1; semi_loops = 4; wrappers = 2; struct_mods = 4; array_mods = 1;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 2; filler = 80;
+    global_arrays = 2; pct_calloc = 25; hot_iters = 165; undef_iters = 2518}
+
+let parser =
+  { d with pname = "197.parser"; seed = 197;
+    hot_defined = 2; hot_undef = 2; cond_chains = 3; chain_len = 3; redundant = 2;
+    ptr_mix = 2; lists_defined = 1; lists_undef = 1; semi_loops = 1; wrappers = 2; struct_mods = 2; array_mods = 2;
+    deep_chains = 2; deep_undef = 1; fp_dispatch = 1; global_mods = 2; filler = 68;
+    global_arrays = 2; pct_calloc = 30; hot_iters = 165; undef_iters = 2677; bug = true }
+
+let perlbmk =
+  { d with pname = "253.perlbmk"; seed = 253;
+    hot_defined = 1; hot_undef = 6; cond_chains = 5; chain_len = 7; redundant = 2;
+    ptr_mix = 4; lists_defined = 1; lists_undef = 3; semi_loops = 1; wrappers = 2; struct_mods = 2; array_mods = 4;
+    deep_chains = 3; deep_undef = 6; fp_dispatch = 2; global_mods = 1; filler = 500;
+    global_arrays = 2; pct_calloc = 15; hot_iters = 102; undef_iters = 13230; cold_iters = 150 }
+
+let gap =
+  { d with pname = "254.gap"; seed = 254;
+    hot_defined = 1; hot_undef = 4; cond_chains = 3; chain_len = 6; redundant = 2;
+    ptr_mix = 5; lists_defined = 0; lists_undef = 3; semi_loops = 1; wrappers = 2; struct_mods = 1; array_mods = 3;
+    deep_chains = 2; deep_undef = 4; fp_dispatch = 2; global_mods = 1; filler = 420;
+    global_arrays = 1; pct_calloc = 10; hot_iters = 102; undef_iters = 8820; cold_iters = 120 }
+
+let vortex =
+  { d with pname = "255.vortex"; seed = 255;
+    hot_defined = 1; hot_undef = 4; cond_chains = 3; chain_len = 6; redundant = 2;
+    ptr_mix = 3; lists_defined = 1; lists_undef = 3; semi_loops = 2; wrappers = 2; struct_mods = 3; array_mods = 3;
+    deep_chains = 4; deep_undef = 4; fp_dispatch = 1; global_mods = 2; filler = 395;
+    global_arrays = 2; pct_calloc = 20; hot_iters = 115; undef_iters = 7245; cold_iters = 130 }
+
+let bzip2 =
+  { d with pname = "256.bzip2"; seed = 256;
+    hot_defined = 3; hot_undef = 2; cond_chains = 1; redundant = 1;
+    ptr_mix = 1; lists_defined = 1; lists_undef = 1; semi_loops = 1; wrappers = 1; struct_mods = 0; array_mods = 2;
+    deep_chains = 1; fp_dispatch = 0; global_mods = 2; filler = 28;
+    global_arrays = 3; pct_calloc = 25; hot_iters = 206; undef_iters = 2047}
+
+let twolf =
+  { d with pname = "300.twolf"; seed = 300;
+    hot_defined = 3; hot_undef = 2; cond_chains = 2; redundant = 2;
+    ptr_mix = 2; lists_defined = 1; lists_undef = 1; semi_loops = 2; wrappers = 1; struct_mods = 2; array_mods = 2;
+    deep_chains = 2; deep_undef = 1; fp_dispatch = 1; global_mods = 2; filler = 120;
+    global_arrays = 3; pct_calloc = 30; hot_iters = 173; undef_iters = 2361}
+
+let all : Profile.t list =
+  [ gzip; vpr; gcc; mesa; art; mcf; equake; crafty; ammp; parser; perlbmk;
+    gap; vortex; bzip2; twolf ]
+
+let find name = List.find (fun p -> p.pname = name) all
+
+(** Generated source of one benchmark at a given input scale. *)
+let source ?scale (p : Profile.t) : string = Gen.generate ?scale p

@@ -1,0 +1,29 @@
+(** The 15 SPEC CPU2000 C benchmark analogs (DESIGN.md §2): per-benchmark
+    profiles whose knobs encode the workload characteristics driving the
+    paper's evaluation. *)
+
+val gzip : Profile.t
+val vpr : Profile.t
+val gcc : Profile.t
+val mesa : Profile.t
+val art : Profile.t
+val mcf : Profile.t
+val equake : Profile.t
+val crafty : Profile.t
+val ammp : Profile.t
+val parser : Profile.t
+val perlbmk : Profile.t
+val gap : Profile.t
+val vortex : Profile.t
+val bzip2 : Profile.t
+val twolf : Profile.t
+
+(** All fifteen, in SPEC numbering order. *)
+val all : Profile.t list
+
+(** Look up by name ("181.mcf").
+    @raise Not_found on unknown names. *)
+val find : string -> Profile.t
+
+(** Generated source of one benchmark at a given input scale. *)
+val source : ?scale:int -> Profile.t -> string

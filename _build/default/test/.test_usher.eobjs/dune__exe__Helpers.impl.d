@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Analysis Hashtbl Instr Ir List Runtime Tinyc Usher

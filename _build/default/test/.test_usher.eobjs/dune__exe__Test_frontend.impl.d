@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Helpers Ir List Tinyc Usher

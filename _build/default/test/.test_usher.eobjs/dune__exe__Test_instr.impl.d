@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Array Helpers Instr Ir List Usher

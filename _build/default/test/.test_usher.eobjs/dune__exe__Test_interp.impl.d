@@ -1,0 +1,1 @@
+test/test_interp.ml: Helpers Instr List Printf Runtime Usher

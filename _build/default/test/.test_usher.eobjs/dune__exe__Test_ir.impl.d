@@ -1,0 +1,1 @@
+test/test_ir.ml: Analysis Helpers Ir List String

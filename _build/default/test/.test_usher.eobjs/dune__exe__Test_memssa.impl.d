@@ -1,0 +1,1 @@
+test/test_memssa.ml: Alcotest Analysis Hashtbl Helpers Ir List Memssa

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Analysis Array Hashtbl Helpers Instr Ir List Memssa Runtime String Usher Vfg

@@ -1,0 +1,1 @@
+test/test_optim.ml: Array Helpers Instr Ir Optim

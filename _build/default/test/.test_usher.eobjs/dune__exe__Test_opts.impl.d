@@ -1,0 +1,1 @@
+test/test_opts.ml: Alcotest Hashtbl Helpers Ir List Runtime Usher Vfg

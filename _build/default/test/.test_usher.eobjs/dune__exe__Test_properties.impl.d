@@ -1,0 +1,1 @@
+test/test_properties.ml: Buffer Hashtbl Helpers Instr Ir List Optim Printf QCheck QCheck_alcotest Random Runtime String Usher Vfg

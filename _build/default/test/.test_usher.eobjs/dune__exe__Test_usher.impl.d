@@ -1,0 +1,1 @@
+test/test_usher.ml: Alcotest Printf Sys Test_analysis Test_frontend Test_instr Test_interp Test_ir Test_memssa Test_misc Test_optim Test_opts Test_properties Test_vfg Test_workloads

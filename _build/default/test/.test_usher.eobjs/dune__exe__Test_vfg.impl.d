@@ -1,0 +1,1 @@
+test/test_vfg.ml: Alcotest Hashtbl Helpers Ir List Usher Vfg

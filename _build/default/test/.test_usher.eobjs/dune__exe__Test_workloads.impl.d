@@ -1,0 +1,1 @@
+test/test_workloads.ml: Hashtbl Helpers Ir List Optim Runtime String Usher Workloads

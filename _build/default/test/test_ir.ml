@@ -1,0 +1,127 @@
+(* IR utilities: growable vectors, bitsets, verification. *)
+
+open Helpers
+
+let vec_tests =
+  [
+    tc "push and get" (fun () ->
+        let v = Ir.Vec.create ~dummy:0 in
+        for i = 0 to 99 do
+          check_int "index" i (Ir.Vec.push v (i * 2))
+        done;
+        check_int "len" 100 (Ir.Vec.length v);
+        check_int "get" 84 (Ir.Vec.get v 42));
+    tc "set" (fun () ->
+        let v = Ir.Vec.create ~dummy:0 in
+        ignore (Ir.Vec.push v 1);
+        Ir.Vec.set v 0 9;
+        check_int "get" 9 (Ir.Vec.get v 0));
+    tc "out of range" (fun () ->
+        let v = Ir.Vec.create ~dummy:0 in
+        check_bool "raises" true
+          (try ignore (Ir.Vec.get v 0); false with Invalid_argument _ -> true));
+    tc "fold and iteri" (fun () ->
+        let v = Ir.Vec.create ~dummy:0 in
+        List.iter (fun x -> ignore (Ir.Vec.push v x)) [ 1; 2; 3 ];
+        check_int "sum" 6 (Ir.Vec.fold_left ( + ) 0 v));
+  ]
+
+module B = Analysis.Bitset
+
+let bitset_tests =
+  [
+    tc "add and mem" (fun () ->
+        let s = B.create () in
+        check_bool "fresh add" true (B.add s 100);
+        check_bool "re-add" false (B.add s 100);
+        check_bool "mem" true (B.mem s 100);
+        check_bool "not mem" false (B.mem s 99));
+    tc "cardinal and elements" (fun () ->
+        let s = B.create () in
+        List.iter (fun i -> ignore (B.add s i)) [ 3; 200; 64; 63 ];
+        check_int "card" 4 (B.cardinal s);
+        check_ints "elems" [ 3; 63; 64; 200 ] (B.elements s));
+    tc "union_into reports change" (fun () ->
+        let a = B.create () and b = B.create () in
+        ignore (B.add a 5);
+        check_bool "changed" true (B.union_into ~src:a ~dst:b);
+        check_bool "no change" false (B.union_into ~src:a ~dst:b);
+        check_bool "mem" true (B.mem b 5));
+    tc "diff_new" (fun () ->
+        let a = B.create () and b = B.create () in
+        List.iter (fun i -> ignore (B.add a i)) [ 1; 2; 3 ];
+        ignore (B.add b 2);
+        check_ints "diff" [ 1; 3 ] (List.sort compare (B.diff_new ~src:a ~old:b)));
+    tc "equal across different capacities" (fun () ->
+        let a = B.create () and b = B.create () in
+        ignore (B.add a 1);
+        ignore (B.add b 1);
+        ignore (B.add b 500);
+        check_bool "neq" false (B.equal a b);
+        ignore (B.add a 500);
+        check_bool "eq" true (B.equal a b));
+    tc "choose on empty" (fun () ->
+        check_bool "none" true (B.choose (B.create ()) = None));
+  ]
+
+let verify_tests =
+  [
+    tc "well-formed program passes" (fun () ->
+        let p = compile "int main() { int x = 1; return x; }" in
+        Ir.Verify.check p);
+    tc "ssa holds after O0+IM" (fun () ->
+        let p = front "int f(int a) { return a + 1; } int main() { return f(2); }" in
+        Ir.Verify.check_ssa p);
+    tc "missing main is rejected" (fun () ->
+        let p = Ir.Prog.create () in
+        check_bool "raises" true
+          (try Ir.Verify.check p; false with Ir.Verify.Ill_formed _ -> true));
+    tc "double definition is rejected in SSA" (fun () ->
+        let p = Ir.Prog.create () in
+        let b = Ir.Builder.create p ~fname:"main" in
+        let bid = Ir.Builder.new_block b in
+        Ir.Builder.switch_to b bid;
+        let x = Ir.Builder.fresh_var b "x" in
+        ignore (Ir.Builder.add b (Ir.Types.Const (x, 1)));
+        ignore (Ir.Builder.add b (Ir.Types.Const (x, 2)));
+        Ir.Builder.terminate b (Ir.Types.Ret None);
+        ignore (Ir.Builder.finish b);
+        check_bool "raises" true
+          (try Ir.Verify.check_ssa p; false with Ir.Verify.Ill_formed _ -> true));
+    tc "branch to nonexistent block is rejected" (fun () ->
+        let p = Ir.Prog.create () in
+        let b = Ir.Builder.create p ~fname:"main" in
+        let bid = Ir.Builder.new_block b in
+        Ir.Builder.switch_to b bid;
+        Ir.Builder.terminate b (Ir.Types.Jmp 7);
+        ignore (Ir.Builder.finish b);
+        check_bool "raises" true
+          (try Ir.Verify.check p; false with Ir.Verify.Ill_formed _ -> true));
+  ]
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let printer_tests =
+  [
+    tc "printer shows phis after mem2reg" (fun () ->
+        let p =
+          front
+            "int main() { int x; int i;\n\
+             for (i = 0; i < 3; i = i + 1) { x = i; }\n\
+             if (x > 1) { print(x); }\n\
+             return x; }"
+        in
+        check_bool "has phi" true (contains (Ir.Printer.prog_to_string p) "phi"));
+    tc "printer shows alloc kinds" (fun () ->
+        let p = compile "int g; int main() { int a[2]; a[0] = 1; return a[0]; }" in
+        let s = Ir.Printer.prog_to_string p in
+        check_bool "stack alloc" true (contains s "<stack>");
+        check_bool "global decl" true (contains s "global g"));
+  ]
+
+let suites =
+  [ ("ir.vec", vec_tests); ("ir.bitset", bitset_tests);
+    ("ir.verify", verify_tests); ("ir.printer", printer_tests) ]

@@ -1,0 +1,310 @@
+(* Property-based tests (qcheck) on randomly generated TinyC programs.
+
+   The generator produces structurally valid, always-terminating programs
+   with scalars, conditionally-initialized locals (so genuine undefined
+   uses occur on some paths), pointers to locals, small arrays, and calls
+   to earlier-defined helpers. The invariants checked are the paper's load-
+   bearing claims (DESIGN.md §6):
+
+   1. soundness — every ground-truth undefined use at a critical operation
+      is reported by every variant's instrumentation;
+   2. behaviour preservation — instrumented runs and O1/O2-optimized runs
+      print exactly what the native O0+IM run prints;
+   3. monotonicity — static instrumentation shrinks down the variant ladder;
+   4. totality — no interpreter errors (memory safety of generated code),
+      SSA well-formedness after every pipeline. *)
+
+open Helpers
+
+(* ---- random program generator ---------------------------------------- *)
+
+type genv = {
+  buf : Buffer.t;
+  rand : Random.State.t;
+  mutable vars : string list;      (* definitely-assigned scalars in scope *)
+  mutable assignable : string list; (* vars the generator may re-assign
+                                       (loop counters are excluded to
+                                       guarantee termination) *)
+  mutable maybe : string list;     (* declared, possibly unassigned *)
+  mutable arrays : (string * int) list;
+  mutable ptrs : string list;      (* pointers, always initialized *)
+  mutable structs : string list;   (* struct P pointers, always allocated *)
+  mutable fresh : int;
+  mutable loop_depth : int;        (* bounded so runtimes stay polynomial *)
+  funcs : (string * int) list;     (* callable helpers with arity *)
+}
+
+let rint g n = Random.State.int g.rand n
+let pick g l = List.nth l (rint g (List.length l))
+
+let fresh g p =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" p g.fresh
+
+let rec expr g depth : string =
+  let atoms =
+    [ (fun () -> string_of_int (rint g 100 - 50)) ]
+    @ (if g.vars <> [] then [ (fun () -> pick g g.vars) ] else [])
+    @ (if g.maybe <> [] && rint g 100 < 30 then [ (fun () -> pick g g.maybe) ] else [])
+    @ (if g.arrays <> [] then
+         [ (fun () ->
+             let a, n = pick g g.arrays in
+             Printf.sprintf "%s[%d]" a (rint g n)) ]
+       else [])
+    @ (if g.ptrs <> [] then [ (fun () -> "*" ^ pick g g.ptrs) ] else [])
+    @ (if g.structs <> [] then
+         [ (fun () -> pick g g.structs ^ (if rint g 2 = 0 then "->px" else "->py")) ]
+       else [])
+  in
+  if depth <= 0 then (pick g atoms) ()
+  else
+    match rint g 6 with
+    | 0 | 1 -> (pick g atoms) ()
+    | 2 ->
+      Printf.sprintf "(%s %s %s)" (expr g (depth - 1))
+        (pick g [ "+"; "-"; "*"; "^"; "&"; "|" ])
+        (expr g (depth - 1))
+    | 3 ->
+      (* keep divisors nonzero to stay away from the total-semantics corner *)
+      Printf.sprintf "(%s %% %d)" (expr g (depth - 1)) (1 + rint g 7)
+    | 4 ->
+      Printf.sprintf "(%s %s %s)" (expr g (depth - 1))
+        (pick g [ "<"; ">"; "=="; "!=" ])
+        (expr g (depth - 1))
+    | _ -> Printf.sprintf "(%s >> %d)" (expr g (depth - 1)) (rint g 4)
+
+let indent n = String.make (2 * n) ' '
+
+let rec stmt g lvl =
+  let pf fmt = Printf.ksprintf (Buffer.add_string g.buf) fmt in
+  match rint g 10 with
+  | 0 ->
+    (* new definitely-assigned scalar *)
+    let v = fresh g "v" in
+    pf "%sint %s = %s;\n" (indent lvl) v (expr g 2);
+    g.vars <- v :: g.vars;
+    g.assignable <- v :: g.assignable
+  | 1 ->
+    (* conditionally-assigned scalar: a genuine maybe-undef *)
+    let v = fresh g "m" in
+    pf "%sint %s;\n" (indent lvl) v;
+    pf "%sif (%s > %d) { %s = %s; }\n" (indent lvl) (expr g 1) (rint g 20 - 10)
+      v (expr g 1);
+    g.maybe <- v :: g.maybe
+  | 2 when g.assignable <> [] ->
+    pf "%s%s = %s;\n" (indent lvl) (pick g g.assignable) (expr g 2)
+  | 3 when g.loop_depth < 2 ->
+    (* bounded loop over a fresh counter; nesting capped at two levels *)
+    let i = fresh g "i" in
+    let n = 1 + rint g 6 in
+    pf "%sfor (int %s = 0; %s < %d; %s = %s + 1) {\n" (indent lvl) i i n i i;
+    let saved = (g.vars, g.maybe, g.assignable, g.ptrs, g.structs) in
+    g.vars <- i :: g.vars;
+    g.loop_depth <- g.loop_depth + 1;
+    block g (lvl + 1) (1 + rint g 2);
+    (let v, m, asn, ptrs, structs = saved in
+     g.vars <- v;
+     g.maybe <- m;
+     g.assignable <- asn;
+     g.ptrs <- ptrs;
+     g.structs <- structs);
+    g.loop_depth <- g.loop_depth - 1;
+    pf "%s}\n" (indent lvl)
+  | 4 ->
+    pf "%sif (%s) {\n" (indent lvl) (expr g 2);
+    let v0, m0, a0, p0, s0 = (g.vars, g.maybe, g.assignable, g.ptrs, g.structs) in
+    block g (lvl + 1) (1 + rint g 2);
+    g.vars <- v0;
+    g.maybe <- m0;
+    g.assignable <- a0;
+    g.ptrs <- p0;
+    g.structs <- s0;
+    if rint g 2 = 0 then begin
+      pf "%s} else {\n" (indent lvl);
+      block g (lvl + 1) (1 + rint g 2);
+      g.vars <- v0;
+      g.maybe <- m0;
+      g.assignable <- a0;
+      g.ptrs <- p0;
+      g.structs <- s0
+    end;
+    pf "%s}\n" (indent lvl)
+  | 5 ->
+    (* array write within bounds *)
+    if g.arrays <> [] then begin
+      let a, n = pick g g.arrays in
+      pf "%s%s[%d] = %s;\n" (indent lvl) a (rint g n) (expr g 2)
+    end
+  | 6 ->
+    (* pointer to a scalar + store through it; never a loop counter, so
+       stores through pointers cannot break termination *)
+    if g.assignable <> [] then begin
+      let p = fresh g "p" in
+      pf "%sint *%s = &%s;\n" (indent lvl) p (pick g g.assignable);
+      pf "%s*%s = %s;\n" (indent lvl) p (expr g 2);
+      g.ptrs <- p :: g.ptrs
+    end
+  | 8 when lvl <= 2 ->
+    (* heap struct with possibly-partial initialization: genuine
+       field-sensitive maybe-undef memory *)
+    let s = fresh g "sp" in
+    pf "%sstruct P *%s = (struct P*)malloc(sizeof(struct P));\n" (indent lvl) s;
+    pf "%s%s->px = %s;\n" (indent lvl) s (expr g 1);
+    if rint g 2 = 0 then pf "%s%s->py = %s;\n" (indent lvl) s (expr g 1);
+    g.structs <- s :: g.structs
+  | 7 when g.funcs <> [] ->
+    let f, arity = pick g g.funcs in
+    let args = List.init arity (fun _ -> expr g 1) in
+    pf "%sprint(%s(%s));\n" (indent lvl) f (String.concat ", " args)
+  | _ -> pf "%sprint(%s);\n" (indent lvl) (expr g 2)
+
+and block g lvl n =
+  for _ = 1 to n do
+    stmt g lvl
+  done
+
+let gen_helper buf rand idx =
+  let arity = 1 + Random.State.int rand 2 in
+  let params = List.init arity (fun i -> Printf.sprintf "a%d" i) in
+  let g =
+    { buf; rand; vars = params; assignable = []; maybe = []; arrays = [];
+      ptrs = []; structs = []; fresh = idx * 1000; loop_depth = 0; funcs = [] }
+  in
+  let name = Printf.sprintf "helper%d" idx in
+  Printf.ksprintf (Buffer.add_string buf) "int %s(%s) {\n" name
+    (String.concat ", " (List.map (fun p -> "int " ^ p) params));
+  block g 1 (2 + Random.State.int rand 3);
+  Printf.ksprintf (Buffer.add_string buf) "  return %s;\n}\n\n" (expr g 2);
+  (name, arity)
+
+let gen_program seed : string =
+  let rand = Random.State.make [| seed |] in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "struct P { int px; int py; };\n\n";
+  let nhelpers = Random.State.int rand 3 in
+  let funcs = List.init nhelpers (fun i -> gen_helper buf rand i) in
+  let g =
+    { buf; rand; vars = []; assignable = []; maybe = []; arrays = []; ptrs = [];
+      structs = []; fresh = 0; loop_depth = 0; funcs }
+  in
+  Buffer.add_string buf "int main() {\n";
+  (* a couple of arrays, fully initialized up front *)
+  let narr = rint g 2 + 1 in
+  for i = 1 to narr do
+    let n = 2 + rint g 4 in
+    let a = Printf.sprintf "arr%d" i in
+    Printf.ksprintf (Buffer.add_string buf) "  int %s[%d];\n" a n;
+    for j = 0 to n - 1 do
+      Printf.ksprintf (Buffer.add_string buf) "  %s[%d] = %d;\n" a j (rint g 50)
+    done;
+    g.arrays <- (a, n) :: g.arrays
+  done;
+  block g 1 (4 + rint g 6);
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* ---- properties ------------------------------------------------------- *)
+
+let arbitrary_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 100000)
+
+let prop name count f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arbitrary_seed f)
+
+let soundness_prop seed =
+  let src = gen_program seed in
+  let prog, a = analyze src in
+  let native = Runtime.Interp.run_native prog in
+  List.for_all
+    (fun v ->
+      let plan, _ = Usher.Pipeline.plan_for a v in
+      let o = Runtime.Interp.run_plan prog plan in
+      (* Variants without Opt II must report every ground-truth use at its
+         own statement; the full Usher variant may instead report it at a
+         dominating check (Opt II's deliberate duplicate suppression). *)
+      let reported l =
+        if v = Usher.Config.Usher_full then
+          Usher.Experiment.covered prog o.detections l
+        else Hashtbl.mem o.detections l
+      in
+      let ok =
+        Hashtbl.fold (fun l () acc -> acc && reported l) native.gt_uses true
+        && o.outputs = native.outputs
+      in
+      if not ok then begin
+        (* dump the counterexample for offline debugging *)
+        let oc = open_out "/tmp/usher_failing_program.txt" in
+        Printf.fprintf oc "seed %d variant %s\ngt: %s\ndet: %s\n%s\n" seed
+          (Usher.Config.variant_name v)
+          (String.concat ","
+             (Hashtbl.fold (fun l () acc -> string_of_int l :: acc) native.gt_uses []))
+          (String.concat ","
+             (Hashtbl.fold (fun l () acc -> string_of_int l :: acc) o.detections []))
+          src;
+        close_out oc
+      end;
+      ok)
+    Usher.Config.all_variants
+
+let monotonicity_prop seed =
+  let src = gen_program seed in
+  let _, a = analyze src in
+  let stats v =
+    Instr.Item.stats_of (fst (Usher.Pipeline.plan_for a v))
+  in
+  let l = List.map stats Usher.Config.all_variants in
+  let rec mono = function
+    | (a : Instr.Item.stats) :: b :: rest ->
+      a.propagations >= b.propagations && a.checks >= b.checks && mono (b :: rest)
+    | _ -> true
+  in
+  mono l
+
+let optimizer_prop seed =
+  let src = gen_program seed in
+  let base = outputs ~level:Optim.Pipeline.O0_IM src in
+  outputs ~level:Optim.Pipeline.O1 src = base
+  && outputs ~level:Optim.Pipeline.O2 src = base
+
+let ssa_prop seed =
+  let src = gen_program seed in
+  List.for_all
+    (fun level ->
+      let p = front ~level src in
+      Ir.Verify.check_ssa p;
+      true)
+    [ Optim.Pipeline.O0_IM; Optim.Pipeline.O1; Optim.Pipeline.O2 ]
+
+let gamma_soundness_prop seed =
+  (* Every ground-truth undefined use must be at a ⊥ critical operand. *)
+  let src = gen_program seed in
+  let prog, a = analyze src in
+  let native = Runtime.Interp.run_native prog in
+  Hashtbl.fold
+    (fun lbl () acc ->
+      acc
+      && List.exists
+           (fun (c : Vfg.Build.critical) ->
+             c.clbl = lbl
+             &&
+             match c.cop with
+             | Ir.Types.Var v -> (
+               match Vfg.Graph.find a.vfg.graph (Vfg.Graph.Top v) with
+               | Some id -> Vfg.Resolve.is_undef a.gamma id
+               | None -> false)
+             | Ir.Types.Undef -> true
+             | Ir.Types.Cst _ -> false)
+           a.vfg.criticals)
+    native.gt_uses true
+
+let suites =
+  [
+    ( "properties",
+      [
+        prop "soundness: guided instrumentation misses no undefined use" 150
+          soundness_prop;
+        prop "monotonicity: the variant ladder only shrinks" 100 monotonicity_prop;
+        prop "optimizers preserve program output" 100 optimizer_prop;
+        prop "SSA well-formed at every level" 100 ssa_prop;
+        prop "Γ covers every runtime undefined use" 100 gamma_soundness_prop;
+      ] );
+  ]

@@ -1,0 +1,287 @@
+(* VFG construction, update flavours and definedness resolution. *)
+
+open Helpers
+
+let build ?(knobs = Usher.Config.default_knobs) src =
+  let prog, a = analyze ~knobs src in
+  (prog, a)
+
+(* Γ of the operand of each print (Output) statement, in program order —
+   robust against mem2reg renaming test variables away. *)
+let printed_undef ?(graph = `At) (prog : Ir.Prog.t) (a : Usher.Pipeline.analysis) =
+  let g, gamma =
+    match graph with
+    | `At -> (a.Usher.Pipeline.vfg.graph, a.gamma)
+    | `Tl -> (a.vfg_tl.graph, a.gamma_tl)
+  in
+  let acc = ref [] in
+  Ir.Prog.iter_instrs
+    (fun _ _ i ->
+      match i.Ir.Types.kind with
+      | Ir.Types.Output (Ir.Types.Var v) ->
+        let u =
+          match Vfg.Graph.find g (Vfg.Graph.Top v) with
+          | Some id -> Vfg.Resolve.is_undef gamma id
+          | None -> false
+        in
+        acc := u :: !acc
+      | Ir.Types.Output Ir.Types.Undef -> acc := true :: !acc
+      | Ir.Types.Output (Ir.Types.Cst _) -> acc := false :: !acc
+      | _ -> ())
+    prog;
+  List.rev !acc
+
+(* Γ of the first printed value. *)
+let first_printed_undef ?graph prog a =
+  match printed_undef ?graph prog a with
+  | u :: _ -> u
+  | [] -> Alcotest.fail "no print in test program"
+
+let store_kinds (prog : Ir.Prog.t) (a : Usher.Pipeline.analysis) =
+  let acc = ref [] in
+  Ir.Prog.iter_instrs
+    (fun _ _ i ->
+      match i.Ir.Types.kind with
+      | Ir.Types.Store _ ->
+        acc := Hashtbl.find_opt a.vfg.store_kind i.lbl :: !acc
+      | _ -> ())
+    prog;
+  List.rev !acc
+
+let resolution_tests =
+  [
+    tc "constants are defined" (fun () ->
+        let prog, a = build "int main() { int x = 1; int y = x + 2; print(y); return y; }" in
+        check_bool "y top" false (first_printed_undef prog a));
+    tc "uninitialized locals are undefined" (fun () ->
+        let prog, a = build "int main() { int u; int y = u + 1; print(y); return y; }" in
+        check_bool "y bot" true (first_printed_undef prog a));
+    tc "conditional initialization stays undefined" (fun () ->
+        let prog, a = build
+            "int main() { int c = input(); int u; if (c) { u = 1; }\n\
+             int y = u + 1; print(y); return y; }" in
+        check_bool "y bot" true (first_printed_undef prog a));
+    tc "initialization on both arms is defined" (fun () ->
+        let prog, a = build
+            "int main() { int c = input(); int u;\n\
+             if (c) { u = 1; } else { u = 2; }\n\
+             int y = u + 1; print(y); return y; }" in
+        check_bool "y top" false (first_printed_undef prog a));
+    tc "definedness flows through memory" (fun () ->
+        let prog, a = build
+            "int main() { int x; int *p = &x; *p = 5; int y = *p + 1; print(y); return y; }" in
+        check_bool "y top" false (first_printed_undef prog a));
+    tc "undefined memory flows to loads" (fun () ->
+        let prog, a = build
+            "int main() { int c = input(); int x; int *p = &x;\n\
+             if (c) { *p = 5; }\n\
+             int y = *p + 1; print(y); return y; }" in
+        check_bool "y bot" true (first_printed_undef prog a));
+    tc "calloc memory is defined, malloc memory is not" (fun () ->
+        let prog, a = build
+            "int main() { int *c = (int*)calloc(2); int *m = (int*)malloc(2);\n\
+             int yc = *c; int ym = *m; print(yc); print(ym); return ym; }" in
+        (* note: 2-cell allocations are arrays, so stores cannot rescue them *)
+        match printed_undef prog a with
+        | [ yc; ym ] ->
+          check_bool "calloc top" false yc;
+          check_bool "malloc bot" true ym
+        | _ -> Alcotest.fail "expected two prints");
+    tc "globals are default-initialized" (fun () ->
+        let prog, a = build "int g; int main() { int y = g + 1; print(y); return y; }" in
+        check_bool "y top" false (first_printed_undef prog a));
+    tc "the TL graph distrusts all memory" (fun () ->
+        let prog, a = build
+            "int main() { int x; int *p = &x; *p = 5; int y = *p + 1; print(y); return y; }" in
+        check_bool "y bot under TL" true (first_printed_undef ~graph:`Tl prog a);
+        check_bool "y top under TL+AT" false (first_printed_undef prog a));
+  ]
+
+let update_tests =
+  [
+    tc "store to a scalar local is a strong update" (fun () ->
+        let prog, a = build "int main() { int x; int *p = &x; *p = 1; return *p; }" in
+        check_bool "strong" true (store_kinds prog a = [ Some Vfg.Build.Strong ]));
+    tc "strong update kills undefinedness" (fun () ->
+        let prog, a = build
+            "int main() { int x; int *p = &x; *p = 1; int y = *p; print(y); return y; }" in
+        check_bool "y top" false (first_printed_undef prog a));
+    tc "aliased store is weak" (fun () ->
+        let prog, a = build
+            "int main() { int x; int y; int *p; x = 1; y = 2;\n\
+             if (x) { p = &x; } else { p = &y; }\n\
+             *p = 3; return *p; }" in
+        let kinds = store_kinds prog a in
+        check_bool "last store weak" true
+          (List.nth kinds (List.length kinds - 1) = Some Vfg.Build.Weak));
+    tc "stack slot of a recursive function is not concrete" (fun () ->
+        let prog, a = build
+            "int r(int n) { int t; int *p = &t; *p = n;\n\
+             if (n < 1) { return *p; } return r(n - 1) + *p; }\n\
+             int main() { return r(2); }" in
+        check_bool "no strong update" true
+          (List.for_all (fun k -> k <> Some Vfg.Build.Strong) (store_kinds prog a)));
+    tc "Fig. 6: allocation in a loop enables a semi-strong update" (fun () ->
+        let prog, a = build
+            "int main() { int s = 0; int i;\n\
+             for (i = 0; i < 9; i = i + 1) { int *q = (int*)malloc(1);\n\
+             *q = i; s = s + *q; }\n\
+             print(s);\n\
+             return s; }" in
+        check_bool "semi-strong applied" true (a.vfg.semi_strong_cuts >= 1);
+        check_bool "s provably defined" false (first_printed_undef prog a));
+    tc "without semi-strong the same program is imprecise" (fun () ->
+        let prog, a =
+          build ~knobs:{ Usher.Config.default_knobs with semi_strong = false }
+            "int main() { int s = 0; int i;\n\
+             for (i = 0; i < 9; i = i + 1) { int *q = (int*)malloc(1);\n\
+             *q = i; s = s + *q; }\n\
+             print(s);\n\
+             return s; }"
+        in
+        check_bool "s maybe-undef" true (first_printed_undef prog a));
+    tc "semi-strong needs the pointer to derive from the alloc" (fun () ->
+        (* the pointer comes back out of memory: no derivation, no bypass *)
+        let prog, a = build
+            "int main() { int **h = (int**)malloc(1); int s = 0; int i;\n\
+             for (i = 0; i < 5; i = i + 1) { int *q = (int*)malloc(1);\n\
+             *h = q; int *r = *h; *r = i; s = s + *r; }\n\
+             if (s > 1) { print(s); }\n\
+             return s; }" in
+        (* the store whose value operand is the loop variable i *)
+        let kind = ref None in
+        Ir.Prog.iter_instrs
+          (fun _ _ ins ->
+            match ins.Ir.Types.kind with
+            | Ir.Types.Store (_, Ir.Types.Var v)
+              when (Ir.Prog.varinfo prog v).vname = "i" ->
+              kind := Hashtbl.find_opt a.Usher.Pipeline.vfg.store_kind ins.lbl
+            | _ -> ())
+          prog;
+        check_bool "the r-store is weak" true (!kind = Some Vfg.Build.Weak));
+  ]
+
+let context_tests =
+  [
+    tc "matched call/return paths are excluded (Fig. 5)" (fun () ->
+        (* id() is called with a defined value at the hot site and an
+           undefined value at a cold site; context-sensitively the hot
+           result stays defined. *)
+        let src =
+          "int id(int x) { return x; }\n\
+           int main() { int d = 5; int hd = id(d);\n\
+           int c = input(); if (c > 99) { int u; int cu = id(u); print(cu); }\n\
+           int y = hd + 1; print(y); return y; }"
+        in
+        let prog, a = build src in
+        let last l = List.nth l (List.length l - 1) in
+        check_bool "hot result defined (context-sensitive)" false
+          (last (printed_undef prog a));
+        let prog', a' =
+          build ~knobs:{ Usher.Config.default_knobs with context_sensitive = false } src
+        in
+        check_bool "polluted when insensitive" true (last (printed_undef prog' a')));
+    tc "undefined argument still reaches its own call site" (fun () ->
+        let prog, a = build
+            "int id(int x) { return x; }\n\
+             int main() { int u; int y = id(u); print(y); return y; }" in
+        check_bool "y bot" true (first_printed_undef prog a));
+    tc "recursion is handled soundly" (fun () ->
+        let prog, a = build
+            "int f(int n, int u) { if (n < 1) { return u; } return f(n - 1, u); }\n\
+             int main() { int w; int y = f(3, w); print(y); return y; }" in
+        check_bool "y bot" true (first_printed_undef prog a));
+  ]
+
+let graph_tests =
+  [
+    tc "roots exist and are never undefined/defined respectively" (fun () ->
+        let _, a = build "int main() { return 0; }" in
+        let g = a.vfg.graph in
+        let t = Vfg.Graph.intern g Vfg.Graph.Root_t in
+        let f = Vfg.Graph.intern g Vfg.Graph.Root_f in
+        check_bool "T top" false (Vfg.Resolve.is_undef a.gamma t);
+        check_bool "F bot" true (Vfg.Resolve.is_undef a.gamma f));
+    tc "criticals cover loads, stores and branches" (fun () ->
+        let _, a = build
+            "int main() { int x; int *p = &x; *p = 1;\n\
+             if (*p > 0) { print(*p); } return 0; }" in
+        (* at least: store ptr, 2 load ptrs, 1 branch cond, loop none *)
+        check_bool "enough criticals" true (List.length a.vfg.criticals >= 4));
+    tc "copy of the graph is independent" (fun () ->
+        let _, a = build "int main() { int x = 1; return x; }" in
+        let g = a.vfg.graph in
+        let c = Vfg.Graph.copy g in
+        let n = Vfg.Graph.nnodes c in
+        ignore (Vfg.Graph.intern c (Vfg.Graph.Top 0));
+        check_int "original unchanged" (Vfg.Graph.nnodes g) n);
+  ]
+
+let suites =
+  [ ("vfg.resolution", resolution_tests); ("vfg.updates", update_tests);
+    ("vfg.context", context_tests); ("vfg.graph", graph_tests) ]
+
+(* ---- the taint client: a second consumer of the same graph ---- *)
+
+let taint_tests =
+  [
+    tc "input flows to branches are flagged" (fun () ->
+        let _, a = build
+            "int main() { int x = input(); int y = x * 2 + 1;\n\
+             if (y > 3) { print(1); } return 0; }" in
+        let t = Vfg.Client_taint.run a.vfg in
+        check_int "one source" 1 t.sources;
+        check_bool "branch flagged" true
+          (List.exists (fun (f : Vfg.Client_taint.finding) -> f.fkind = `Branch)
+             t.findings));
+    tc "constant flows are not flagged" (fun () ->
+        let _, a = build
+            "int main() { int x = 5; if (x > 3) { print(1); } return 0; }" in
+        let t = Vfg.Client_taint.run a.vfg in
+        check_int "no sources" 0 t.sources;
+        check_int "no findings" 0 (List.length t.findings));
+    tc "taint crosses calls and memory" (fun () ->
+        let _, a = build
+            "int relay(int v) { return v + 1; }\n\
+             int main() { int x; int *p = &x; *p = relay(input());\n\
+             if (*p > 0) { print(1); } return 0; }" in
+        let t = Vfg.Client_taint.run a.vfg in
+        check_bool "branch flagged through memory" true
+          (List.exists (fun (f : Vfg.Client_taint.finding) -> f.fkind = `Branch)
+             t.findings));
+    tc "context sensitivity applies to taint too" (fun () ->
+        (* id() relays input at one site and a constant at another; only the
+           tainted site's branch is flagged when call/returns are matched *)
+        let src =
+          "int id(int v) { return v; }\n\
+           int main() { int clean = id(7); int dirty = id(input());\n\
+           if (clean > 1) { print(1); }\n\
+           if (dirty > 1) { print(2); }\n\
+           return 0; }"
+        in
+        let _, a = build src in
+        let sensitive = Vfg.Client_taint.run a.vfg in
+        let insensitive = Vfg.Client_taint.run ~context_sensitive:false a.vfg in
+        check_int "one tainted branch" 1 (List.length sensitive.findings);
+        check_int "both polluted when insensitive" 2
+          (List.length insensitive.findings));
+    tc "tainted addressing flags the access, not the loaded value" (fun () ->
+        let _, a = build
+            "int t[4];\n\
+             int main() { int i; for (i = 0; i < 4; i = i + 1) { t[i] = i; }\n\
+             int idx = input() % 4; int v = t[idx & 3];\n\
+             if (v > 1) { print(1); } return 0; }" in
+        let t = Vfg.Client_taint.run a.vfg in
+        check_bool "load flagged" true
+          (List.exists (fun (f : Vfg.Client_taint.finding) -> f.fkind = `Load)
+             t.findings);
+        (* v itself is untainted: data taint does not cross addresses *)
+        check_bool "no tainted branch in main" true
+          (not
+             (List.exists
+                (fun (f : Vfg.Client_taint.finding) ->
+                  f.fkind = `Branch && f.ffunc = "main")
+                t.findings)));
+  ]
+
+let suites = suites @ [ ("vfg.taint-client", taint_tests) ]
