@@ -46,6 +46,72 @@ let variant_arg =
 
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+(* ---- resource budgets and fault injection ---- *)
+
+let budget_ms_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-ms" ]
+           ~doc:"Wall-clock budget for the whole analysis, in milliseconds. \
+                 Phases that outlive it degrade soundly instead of crashing.")
+
+let solver_fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "solver-fuel" ]
+           ~doc:"Maximum Andersen worklist iterations before degradation.")
+
+let vfg_cap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "vfg-cap" ] ~doc:"Maximum VFG nodes before degradation.")
+
+let resolve_fuel_arg =
+  Arg.(value & opt (some int) None
+       & info [ "resolve-fuel" ]
+           ~doc:"Maximum Γ-resolution states before degradation.")
+
+let fault_conv =
+  let parse s =
+    match Usher.Fault.of_spec s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf f -> Fmt.string ppf (Usher.Fault.to_string f))
+
+let inject_arg =
+  Arg.(value & opt_all fault_conv []
+       & info [ "inject" ] ~docv:"PHASE[:FUNC][=crash|exhaust]"
+           ~doc:"Inject a fault at a phase boundary (repeatable); the \
+                 pipeline must degrade, not crash. Phases: optim, andersen, \
+                 callgraph, modref, memssa, vfg_build, resolve, opt2, \
+                 instrument.")
+
+let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject =
+  {
+    Usher.Config.default_knobs with
+    budget_ms;
+    solver_fuel;
+    vfg_node_cap = vfg_cap;
+    resolve_fuel;
+    inject;
+  }
+
+let knobs_term =
+  Term.(const knobs_of $ budget_ms_arg $ solver_fuel_arg $ vfg_cap_arg
+        $ resolve_fuel_arg $ inject_arg)
+
+(* Report what the resilience ladder did, if anything. *)
+let print_degradation (a : Usher.Pipeline.analysis)
+    (front_events : Usher.Degrade.event list) =
+  List.iter
+    (fun e -> Printf.printf "%s\n" (Usher.Degrade.to_string e))
+    (front_events @ !(a.events));
+  if a.degraded_all then
+    Printf.printf "analysis degraded: every variant uses full (MSan) instrumentation\n"
+  else begin
+    match Usher.Pipeline.distrusted_functions a with
+    | [] -> ()
+    | fns ->
+      Printf.printf "degraded functions (full instrumentation): %s\n"
+        (String.concat ", " fns)
+  end
+
 let dump_arg =
   Arg.(value & opt_all (enum [ ("ir", `Ir); ("memssa", `Memssa); ("vfg", `Vfg);
                                ("plan", `Plan); ("cfg-dot", `Cfg_dot);
@@ -57,10 +123,10 @@ let dump_arg =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run file level variant dumps =
+  let run file level variant dumps knobs =
     let src = read_file file in
-    let prog = Usher.Pipeline.front ~level src in
-    let a = Usher.Pipeline.analyze prog in
+    let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
+    let a = Usher.Pipeline.analyze ~knobs prog in
     let plan, guided = Usher.Pipeline.plan_for a variant in
     let stats = Instr.Item.stats_of plan in
     let t1 = Usher.Analysis_stats.compute ~src a in
@@ -113,19 +179,21 @@ let analyze_cmd =
       Printf.printf "guided traversal reached %d nodes; Opt I simplified %d closures\n"
         g.needed_nodes g.opt1_simplified
     | None -> ());
-    Printf.printf "Opt II redirected %d nodes\n" a.opt2.redirected
+    Printf.printf "Opt II redirected %d nodes\n" a.opt2.redirected;
+    print_degradation a front_events
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Statically analyze a TinyC program")
-    Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg)
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg $ knobs_term)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file level variant =
+  let run file level variant knobs =
     let src = read_file file in
-    let prog = Usher.Pipeline.front ~level src in
-    let a = Usher.Pipeline.analyze prog in
+    let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
+    let a = Usher.Pipeline.analyze ~knobs prog in
     let plan, _ = Usher.Pipeline.plan_for a variant in
+    print_degradation a front_events;
     let native = Runtime.Interp.run_native prog in
     let o = Runtime.Interp.run_plan prog plan in
     List.iter (fun v -> Printf.printf "output: %d\n" v) o.outputs;
@@ -141,7 +209,7 @@ let run_cmd =
       (Runtime.Counters.base_ops o.counters)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a TinyC program under instrumentation")
-    Term.(const run $ file_arg $ level_arg $ variant_arg)
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term)
 
 (* ---- gen ---- *)
 
@@ -162,10 +230,10 @@ let gen_cmd =
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run name scale level =
+  let run name scale level knobs =
     let p = Workloads.Spec2000.find name in
     let src = Workloads.Spec2000.source ~scale p in
-    let e = Usher.Experiment.run ~name ~level src in
+    let e = Usher.Experiment.run ~name ~level ~knobs src in
     Printf.printf "%s at %s (scale %d):\n" name
       (Optim.Pipeline.level_to_string level) scale;
     List.iter
@@ -174,7 +242,8 @@ let bench_cmd =
           (Usher.Config.variant_name r.variant)
           r.slowdown_pct r.static_stats.propagations r.static_stats.checks
           (List.length r.detections))
-      e.results
+      e.results;
+    print_degradation e.analysis []
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -183,7 +252,7 @@ let bench_cmd =
     Arg.(value & opt int 30 & info [ "scale" ] ~doc:"Input scale (100 = nominal).")
   in
   Cmd.v (Cmd.info "bench" ~doc:"Run one SPEC2000 analog end to end")
-    Term.(const run $ name_arg $ scale_arg $ level_arg)
+    Term.(const run $ name_arg $ scale_arg $ level_arg $ knobs_term)
 
 let main =
   Cmd.group
@@ -191,4 +260,19 @@ let main =
        ~doc:"Usher: static value-flow analysis accelerating undefined-value detection")
     [ analyze_cmd; run_cmd; gen_cmd; bench_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Structured diagnostics (bad source, interpreter traps) exit cleanly
+   with the located message instead of a backtrace. *)
+let () =
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception Diag.Error d ->
+    prerr_endline ("usherc: " ^ Diag.to_string d);
+    exit 1
+  | exception Runtime.Interp.Runtime_error msg ->
+    prerr_endline ("usherc: runtime error: " ^ msg);
+    exit 1
+  | exception Runtime.Interp.Resource_exhausted { what; limit } ->
+    prerr_endline
+      (Printf.sprintf "usherc: interpreter limit exhausted: %s (limit %d)" what
+         limit);
+    exit 1

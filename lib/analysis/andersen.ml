@@ -193,7 +193,34 @@ let enumerate_objects (cfg : config) (p : P.t) ~wrappers ~callsites ~taken :
 
 type gep = Gfield of int | Gindex of int option
 
-let run ?(config = default_config) (p : P.t) : t =
+(** Conservative fallback used when the real analysis is out of budget or
+    faulted: no objects, empty points-to sets, no resolved callees. Only
+    sound when the consumer stops trusting the analysis entirely (the
+    pipeline falls back to full MSan instrumentation in that case). *)
+let stub (p : P.t) : t =
+  let objects = Objects.create () in
+  Objects.freeze objects;
+  let nvars = P.nvars p in
+  let ret_node = Hashtbl.create 16 in
+  let next = ref nvars in
+  P.iter_funcs
+    (fun f ->
+      Hashtbl.replace ret_node f.fname !next;
+      incr next)
+    p;
+  {
+    prog = p;
+    objects;
+    nvars;
+    ret_node;
+    pts = Array.init !next (fun _ -> Bitset.create ());
+    callees = Hashtbl.create 1;
+    wrappers = Hashtbl.create 1;
+    address_taken_funcs = Hashtbl.create 1;
+    solve_iterations = 0;
+  }
+
+let run ?(config = default_config) ?budget (p : P.t) : t =
   let taken = collect_address_taken p in
   let callsites = direct_callsites p in
   let wrappers = Hashtbl.create 8 in
@@ -341,6 +368,9 @@ let run ?(config = default_config) (p : P.t) : t =
   let iterations = ref 0 in
   while not (Queue.is_empty worklist) do
     incr iterations;
+    (match budget with
+    | Some b -> Diag.Budget.burn_solver b Diag.Andersen
+    | None -> ());
     let n = Queue.pop worklist in
     on_list.(n) <- false;
     let delta = Bitset.diff_new ~src:pts.(n) ~old:pts_done.(n) in

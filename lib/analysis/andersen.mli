@@ -36,7 +36,15 @@ type t = {
     every return value)? Exposed for tests. *)
 val detect_wrapper : func -> label option
 
-val run : ?config:config -> Ir.Prog.t -> t
+(** Run the analysis. [budget] burns one unit of solver fuel (and ticks the
+    deadline) per worklist iteration. *)
+val run : ?config:config -> ?budget:Diag.Budget.t -> Ir.Prog.t -> t
+
+(** Conservative fallback when the real analysis is out of budget or
+    faulted: no objects, empty points-to sets, no resolved callees. Only
+    sound when the consumer stops trusting the analysis entirely and falls
+    back to full instrumentation. *)
+val stub : Ir.Prog.t -> t
 
 (** Points-to set (location ids) of a top-level variable. *)
 val pts_var : t -> var -> Bitset.t

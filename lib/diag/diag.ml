@@ -1,0 +1,187 @@
+(* Structured diagnostics and resource budgets for the whole pipeline.
+
+   Every layer reports failures as a [Diag.t] — severity, originating phase,
+   optional source location, message — instead of ad-hoc [Failure]/[Error of
+   string] exceptions. The pipeline driver (Usher.Pipeline) catches these at
+   phase boundaries and degrades soundly instead of crashing: analysis may
+   prune instrumentation only when it *proves* definedness, so the only sound
+   response to an analysis failure is to fall back toward MORE
+   instrumentation (see DESIGN.md, "Graceful degradation").
+
+   [Budget] provides the cooperative resource limits threaded through the
+   analysis phases: a wall-clock deadline plus fuel counters for the Andersen
+   solver, VFG size, and definedness resolution. Exhaustion raises
+   [Budget.Exhausted], which the pipeline treats exactly like any other
+   phase fault. *)
+
+type severity = Info | Warning | Err
+
+(** Pipeline phase a diagnostic originates from (Fig. 3's stages plus the
+    runtime and the driver itself). *)
+type phase =
+  | Lex
+  | Parse
+  | Lower
+  | Ir              (* IR construction / well-formedness *)
+  | Optim
+  | Andersen
+  | Callgraph
+  | Modref
+  | Memssa
+  | Vfg_build
+  | Resolve
+  | Opt2
+  | Instrument
+  | Interp
+  | Driver
+
+type loc = { line : int; col : int }
+
+type t = {
+  severity : severity;
+  phase : phase;
+  loc : loc option;
+  message : string;
+}
+
+exception Error of t
+
+let severity_name = function Info -> "info" | Warning -> "warning" | Err -> "error"
+
+let phase_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Lower -> "lower"
+  | Ir -> "ir"
+  | Optim -> "optim"
+  | Andersen -> "andersen"
+  | Callgraph -> "callgraph"
+  | Modref -> "modref"
+  | Memssa -> "memssa"
+  | Vfg_build -> "vfg"
+  | Resolve -> "resolve"
+  | Opt2 -> "opt2"
+  | Instrument -> "instrument"
+  | Interp -> "interp"
+  | Driver -> "driver"
+
+let to_string (d : t) =
+  match d.loc with
+  | Some { line; col } ->
+    Printf.sprintf "[%s] %s at line %d, col %d: %s" (phase_name d.phase)
+      (severity_name d.severity) line col d.message
+  | None ->
+    Printf.sprintf "[%s] %s: %s" (phase_name d.phase) (severity_name d.severity)
+      d.message
+
+(** Raise a [Diag.Error] with severity [Err]. *)
+let error ?loc (phase : phase) fmt =
+  Fmt.kstr (fun message -> raise (Error { severity = Err; phase; loc; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Resource budgets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = struct
+  type resource = Wall_clock | Solver_fuel | Vfg_nodes | Resolve_fuel
+
+  let resource_name = function
+    | Wall_clock -> "wall-clock deadline (ms)"
+    | Solver_fuel -> "pointer-solver iterations"
+    | Vfg_nodes -> "VFG node cap"
+    | Resolve_fuel -> "resolution states"
+
+  exception Exhausted of { phase : phase; resource : resource; limit : int }
+
+  type b = {
+    clock : unit -> float;
+    deadline : float option;     (* absolute, in [clock]'s timebase *)
+    budget_ms : int;
+    mutable solver_fuel : int;   (* remaining; negative = unlimited *)
+    solver_fuel0 : int;
+    mutable resolve_fuel : int;
+    resolve_fuel0 : int;
+    vfg_node_cap : int;          (* negative = unlimited *)
+    mutable polls : int;         (* amortizes clock reads *)
+  }
+
+  type t = b
+
+  (* How many cooperative ticks between clock reads. Small enough that a
+     1 ms deadline still fires promptly inside hot solver loops. *)
+  let poll_mask = 63
+
+  let make ?clock ?budget_ms ?solver_fuel ?resolve_fuel ?vfg_node_cap () : t =
+    let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+    let deadline =
+      match budget_ms with
+      | Some ms -> Some (clock () +. (float_of_int ms /. 1000.0))
+      | None -> None
+    in
+    {
+      clock;
+      deadline;
+      budget_ms = Option.value ~default:(-1) budget_ms;
+      solver_fuel = Option.value ~default:(-1) solver_fuel;
+      solver_fuel0 = Option.value ~default:(-1) solver_fuel;
+      resolve_fuel = Option.value ~default:(-1) resolve_fuel;
+      resolve_fuel0 = Option.value ~default:(-1) resolve_fuel;
+      vfg_node_cap = Option.value ~default:(-1) vfg_node_cap;
+      polls = 0;
+    }
+
+  let unlimited () = make ()
+
+  let limited (t : t) =
+    t.deadline <> None || t.solver_fuel >= 0 || t.resolve_fuel >= 0
+    || t.vfg_node_cap >= 0
+
+  let check_deadline (t : t) (phase : phase) =
+    match t.deadline with
+    | Some d when t.clock () > d ->
+      raise (Exhausted { phase; resource = Wall_clock; limit = t.budget_ms })
+    | _ -> ()
+
+  (** Cooperative cancellation point: cheap unless the poll counter wraps. *)
+  let tick (t : t) (phase : phase) =
+    t.polls <- t.polls + 1;
+    if t.polls land poll_mask = 0 then check_deadline t phase
+
+  let burn_solver (t : t) (phase : phase) =
+    if t.solver_fuel >= 0 then begin
+      if t.solver_fuel = 0 then
+        raise (Exhausted { phase; resource = Solver_fuel; limit = t.solver_fuel0 });
+      t.solver_fuel <- t.solver_fuel - 1
+    end;
+    tick t phase
+
+  let burn_resolve (t : t) (phase : phase) =
+    if t.resolve_fuel >= 0 then begin
+      if t.resolve_fuel = 0 then
+        raise
+          (Exhausted { phase; resource = Resolve_fuel; limit = t.resolve_fuel0 });
+      t.resolve_fuel <- t.resolve_fuel - 1
+    end;
+    tick t phase
+
+  let check_nodes (t : t) (phase : phase) (nnodes : int) =
+    if t.vfg_node_cap >= 0 && nnodes > t.vfg_node_cap then
+      raise (Exhausted { phase; resource = Vfg_nodes; limit = t.vfg_node_cap })
+end
+
+(** Convert any exception escaping a phase into a diagnostic. [phase] is the
+    phase whose guard caught it; a structured exception keeps its own. *)
+let of_exn (phase : phase) (e : exn) : t =
+  match e with
+  | Error d -> d
+  | Budget.Exhausted { phase = p; resource; limit } ->
+    {
+      severity = Err;
+      phase = p;
+      loc = None;
+      message =
+        Printf.sprintf "resource budget exhausted: %s (limit %d)"
+          (Budget.resource_name resource) limit;
+    }
+  | e ->
+    { severity = Err; phase; loc = None; message = Printexc.to_string e }

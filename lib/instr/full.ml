@@ -23,61 +23,61 @@ let check_if_var (plan : Item.plan) lbl (o : operand) =
   | Var _ | Undef -> Item.add plan lbl Item.Before (Item.Check o)
   | Cst _ -> ()
 
+let instrument_func (plan : Item.plan) (f : func) : unit =
+  let rs = plan.ret_slot in
+  (* [⊥-Para] destination side. *)
+  List.iteri
+    (fun i prm -> Item.add_entry plan f.fname (Item.Set_var (prm, Item.Rglobal i)))
+    f.params;
+  Ir.Func.iter_instrs
+    (fun _ i ->
+      let lbl = i.lbl in
+      match i.kind with
+      | Const (x, _) -> Item.add plan lbl After (Item.Set_var (x, Item.Rconst true))
+      | Copy (x, o) -> Item.add plan lbl After (Item.Set_var (x, op_shadow o))
+      | Unop (x, _, o) -> Item.add plan lbl After (Item.Set_var (x, conj_of [ o ]))
+      | Binop (x, _, o1, o2) ->
+        Item.add plan lbl After (Item.Set_var (x, conj_of [ o1; o2 ]))
+      | Phi (x, arms) -> Item.add plan lbl After (Item.Set_var (x, Item.Rphi arms))
+      | Global_addr (x, _) | Func_addr (x, _) | Input x ->
+        Item.add plan lbl After (Item.Set_var (x, Item.Rconst true))
+      | Field_addr (x, y, _) ->
+        Item.add plan lbl After (Item.Set_var (x, conj_of [ Var y ]))
+      | Index_addr (x, y, o) ->
+        Item.add plan lbl After (Item.Set_var (x, conj_of [ Var y; o ]))
+      | Alloc a ->
+        (* [⊥-Alloc]: pointer defined; object shadow set to T or F. *)
+        Item.add plan lbl After (Item.Set_var (a.adst, Item.Rconst true));
+        Item.add plan lbl After (Item.Set_mem_object (a.adst, a.initialized))
+      | Load (x, y) ->
+        (* [⊥-Check] on the pointer + [⊥-Load]. *)
+        check_if_var plan lbl (Var y);
+        Item.add plan lbl After (Item.Set_var (x, Item.Rmem y))
+      | Store (x, o) ->
+        check_if_var plan lbl (Var x);
+        Item.add plan lbl After (Item.Set_mem (x, Item.Mop o))
+      | Call { cdst; cargs; _ } ->
+        (* [⊥-Para] source side + [⊥-Ret] destination side. *)
+        List.iteri
+          (fun idx arg -> Item.add plan lbl Before (Item.Set_global (idx, arg)))
+          cargs;
+        (match cdst with
+        | Some x -> Item.add plan lbl After (Item.Set_var (x, Item.Rglobal rs))
+        | None -> ())
+      | Output _ -> ())
+    f;
+  Array.iter
+    (fun b ->
+      match b.term.tkind with
+      | Br (o, _, _) -> check_if_var plan b.term.tlbl o
+      | Ret o ->
+        (* [⊥-Ret] source side: relay the return value's shadow. *)
+        let sh = match o with Some op -> op | None -> Cst 0 in
+        Item.add plan b.term.tlbl Before (Item.Set_global (rs, sh))
+      | Jmp _ -> ())
+    f.blocks
+
 let build (p : P.t) : Item.plan =
   let plan = Item.empty_plan p in
-  let rs = plan.ret_slot in
-  P.iter_funcs
-    (fun f ->
-      (* [⊥-Para] destination side. *)
-      List.iteri
-        (fun i prm -> Item.add_entry plan f.fname (Item.Set_var (prm, Item.Rglobal i)))
-        f.params;
-      Ir.Func.iter_instrs
-        (fun _ i ->
-          let lbl = i.lbl in
-          match i.kind with
-          | Const (x, _) -> Item.add plan lbl After (Item.Set_var (x, Item.Rconst true))
-          | Copy (x, o) -> Item.add plan lbl After (Item.Set_var (x, op_shadow o))
-          | Unop (x, _, o) -> Item.add plan lbl After (Item.Set_var (x, conj_of [ o ]))
-          | Binop (x, _, o1, o2) ->
-            Item.add plan lbl After (Item.Set_var (x, conj_of [ o1; o2 ]))
-          | Phi (x, arms) -> Item.add plan lbl After (Item.Set_var (x, Item.Rphi arms))
-          | Global_addr (x, _) | Func_addr (x, _) | Input x ->
-            Item.add plan lbl After (Item.Set_var (x, Item.Rconst true))
-          | Field_addr (x, y, _) ->
-            Item.add plan lbl After (Item.Set_var (x, conj_of [ Var y ]))
-          | Index_addr (x, y, o) ->
-            Item.add plan lbl After (Item.Set_var (x, conj_of [ Var y; o ]))
-          | Alloc a ->
-            (* [⊥-Alloc]: pointer defined; object shadow set to T or F. *)
-            Item.add plan lbl After (Item.Set_var (a.adst, Item.Rconst true));
-            Item.add plan lbl After (Item.Set_mem_object (a.adst, a.initialized))
-          | Load (x, y) ->
-            (* [⊥-Check] on the pointer + [⊥-Load]. *)
-            check_if_var plan lbl (Var y);
-            Item.add plan lbl After (Item.Set_var (x, Item.Rmem y))
-          | Store (x, o) ->
-            check_if_var plan lbl (Var x);
-            Item.add plan lbl After (Item.Set_mem (x, Item.Mop o))
-          | Call { cdst; cargs; _ } ->
-            (* [⊥-Para] source side + [⊥-Ret] destination side. *)
-            List.iteri
-              (fun idx arg -> Item.add plan lbl Before (Item.Set_global (idx, arg)))
-              cargs;
-            (match cdst with
-            | Some x -> Item.add plan lbl After (Item.Set_var (x, Item.Rglobal rs))
-            | None -> ())
-          | Output _ -> ())
-        f;
-      Array.iter
-        (fun b ->
-          match b.term.tkind with
-          | Br (o, _, _) -> check_if_var plan b.term.tlbl o
-          | Ret o ->
-            (* [⊥-Ret] source side: relay the return value's shadow. *)
-            let sh = match o with Some op -> op | None -> Cst 0 in
-            Item.add plan b.term.tlbl Before (Item.Set_global (rs, sh))
-          | Jmp _ -> ())
-        f.blocks)
-    p;
+  P.iter_funcs (instrument_func plan) p;
   plan

@@ -11,4 +11,9 @@ val op_shadow : operand -> Item.shadow_rhs
 (** Conjunction of operand shadows. *)
 val conj_of : operand list -> Item.shadow_rhs
 
+(** Add the full (MSan) item set for one function to an existing plan.
+    [Item.add] deduplicates, so overlaying this on a guided plan is safe —
+    the degradation ladder uses it to distrust individual functions. *)
+val instrument_func : Item.plan -> Ir.Types.func -> unit
+
 val build : Ir.Prog.t -> Item.plan

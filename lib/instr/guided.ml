@@ -32,8 +32,11 @@ type result = {
 let op_shadow = Full.op_shadow
 let conj_of = Full.conj_of
 
-let build ?(options = { opt1 = true }) (bld : Vfg.Build.t)
+let build ?(options = { opt1 = true }) ?distrusted (bld : Vfg.Build.t)
     (gamma : Vfg.Resolve.gamma) : result =
+  let have_distrust =
+    match distrusted with Some d -> Hashtbl.length d > 0 | None -> false
+  in
   let p = bld.prog in
   let g = bld.graph in
   let plan = Item.empty_plan p in
@@ -290,8 +293,14 @@ let build ?(options = { opt1 = true }) (bld : Vfg.Build.t)
   (* Usher_TL: memory is not tracked statically, so the memory side keeps
      full instrumentation — stores write shadow cells, allocs initialize
      shadow objects — and every value stored into (untracked) memory must
-     itself be shadowed correctly, so store operands seed the traversal. *)
-  if not bld.config.track_memory then
+     itself be shadowed correctly, so store operands seed the traversal.
+
+     The same overlay is applied whenever the distrust set is non-empty: a
+     distrusted function runs under full instrumentation and reads shadow
+     memory at every load, so every store program-wide must keep shadow
+     memory accurate (a pruned trusted-side store would leave a stale
+     default behind for the distrusted reader). *)
+  if (not bld.config.track_memory) || have_distrust then
     P.iter_instrs
       (fun _ _ i ->
         match i.kind with
@@ -307,6 +316,65 @@ let build ?(options = { opt1 = true }) (bld : Vfg.Build.t)
           Item.add plan i.lbl After (Item.Set_mem_object (a.adst, a.initialized))
         | _ -> ())
       p;
+  (* Degradation ladder: with a non-empty distrust set the guided plan must
+     interoperate with full (MSan) instrumentation inside the distrusted
+     functions. Shadow memory is already kept accurate program-wide by the
+     overlay above; here we fix up the calling protocol across the trust
+     boundary, then overlay the full item set onto each distrusted function
+     ([Item.add] deduplicates, so overlap with guided items is harmless). *)
+  (match distrusted with
+  | None -> ()
+  | Some dset when Hashtbl.length dset = 0 -> ()
+  | Some dset ->
+    let is_distrusted fn = Hashtbl.mem dset fn in
+    let need_var y =
+      match Vfg.Graph.find g (Vfg.Graph.Top y) with
+      | Some id -> need id
+      | None -> ()
+    in
+    (* Trusted functions callable from a distrusted caller. *)
+    let callees_of_d : (fname, unit) Hashtbl.t = Hashtbl.create 16 in
+    P.iter_instrs
+      (fun f _ i ->
+        match i.kind with
+        | Call { cdst; cargs; _ } ->
+          let targets = Analysis.Callgraph.site_callees bld.cg i.lbl in
+          if is_distrusted f.fname then
+            List.iter
+              (fun t ->
+                if not (is_distrusted t) then Hashtbl.replace callees_of_d t ())
+              targets
+          else if List.exists is_distrusted targets then begin
+            (* Trusted caller into distrusted callee: pass every argument
+               shadow ([⊥-Para] source side — the callee's full entry items
+               read sigma_g) and consume the return shadow the callee's
+               full instrumentation relays. *)
+            List.iteri
+              (fun idx arg ->
+                Item.add plan i.lbl Before (Item.Set_global (idx, arg));
+                match arg with
+                | Var y -> need_var y
+                | Cst _ | Undef -> ())
+              cargs;
+            match cdst with Some x -> need_var x | None -> ()
+          end
+        | _ -> ())
+      p;
+    (* Trusted callees of distrusted callers: relay return shadows (the
+       caller's full instrumentation reads sigma_g[rs] after the call) and
+       make the callee honor the sigma_g argument protocol on entry. *)
+    Hashtbl.iter
+      (fun gname () ->
+        emit_ret_relays gname;
+        List.iter
+          (fun (_, ro) ->
+            match ro with Some (Var y) -> need_var y | _ -> ())
+          (Option.value ~default:[] (Hashtbl.find_opt bld.ret_operands gname));
+        List.iter need_var (P.get_func p gname).params)
+      callees_of_d;
+    Hashtbl.iter
+      (fun fn _ -> Full.instrument_func plan (P.get_func p fn))
+      dset);
   while not (Queue.is_empty work) do
     process (Queue.pop work)
   done;

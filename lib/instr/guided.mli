@@ -20,4 +20,14 @@ type result = {
   opt1_simplified : int; (** closures simplified — Table 1's "S" column *)
 }
 
-val build : ?options:options -> Vfg.Build.t -> Vfg.Resolve.gamma -> result
+(** [distrusted] lists functions whose static results are no longer
+    trusted (budget blown or a phase faulted on them): they receive the
+    full (MSan) item set via {!Full.instrument_func}, every store
+    program-wide keeps shadow memory accurate, and the calling protocol is
+    relayed across the trust boundary. Degradation only ever adds items. *)
+val build :
+  ?options:options ->
+  ?distrusted:(Ir.Types.fname, unit) Hashtbl.t ->
+  Vfg.Build.t ->
+  Vfg.Resolve.gamma ->
+  result

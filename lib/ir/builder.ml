@@ -55,7 +55,7 @@ let switch_to b bid = b.cur <- Some (find_block b bid)
 let current b =
   match b.cur with
   | Some blk -> blk
-  | None -> invalid_arg "Builder: no current block"
+  | None -> Diag.error Diag.Ir "Builder: no current block"
 
 (** True when the current block has already been sealed by [terminate]. *)
 let terminated b = (current b).term.tlbl >= 0
@@ -141,9 +141,8 @@ let finish b : func =
     (fun i blk ->
       assert (blk.bid = i);
       if blk.term.tlbl < 0 then
-        invalid_arg
-          (Printf.sprintf "Builder.finish: block b%d of %s not terminated"
-             blk.bid b.fname))
+        Diag.error Diag.Ir "Builder.finish: block b%d of %s not terminated"
+          blk.bid b.fname)
     blocks;
   let f = { fname = b.fname; params = b.params; blocks } in
   Prog.add_func b.prog f;

@@ -54,7 +54,7 @@ let find_func p name = Hashtbl.find_opt p.func_tbl name
 let get_func p name =
   match find_func p name with
   | Some f -> f
-  | None -> invalid_arg ("Prog.get_func: unknown function " ^ name)
+  | None -> Diag.error Diag.Ir "Prog.get_func: unknown function %s" name
 
 let iter_funcs f p = List.iter (fun (_, fn) -> f fn) p.funcs
 

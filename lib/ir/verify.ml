@@ -4,9 +4,11 @@
 
 open Types
 
-exception Ill_formed of string
+(* Violations raise [Diag.Error] with phase [Diag.Ir]; [Ill_formed] is kept
+   as an alias so callers can keep matching on the historical name. *)
+exception Ill_formed = Diag.Error
 
-let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+let fail fmt = Diag.error Diag.Ir fmt
 
 let check_func (p : Prog.t) (f : func) =
   let n = Array.length f.blocks in

@@ -1,7 +1,8 @@
 (** Well-formedness checks for IR programs. *)
 
-(** Raised with a diagnostic when a check fails. *)
-exception Ill_formed of string
+(** Raised when a check fails — an alias for [Diag.Error] (phase [Diag.Ir])
+    kept under the historical name. *)
+exception Ill_formed of Diag.t
 
 (** Structural invariants: a [main] exists, block ids are dense, branch
     targets exist, calls match arity, used variables exist. *)

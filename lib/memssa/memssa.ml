@@ -231,10 +231,52 @@ let build_func (pa : Analysis.Andersen.t) (cg : Analysis.Callgraph.t)
     nversions;
   }
 
-let build (p : P.t) (pa : Analysis.Andersen.t) (cg : Analysis.Callgraph.t)
-    (mr : Analysis.Modref.t) : t =
+(** Inert per-function SSA used when [build_func] faults and the caller
+    opted into per-function degradation: no tracked locations, no
+    annotations. Sound only if the consumer distrusts the function. *)
+let empty_func_ssa (fname : fname) : func_ssa =
+  {
+    fname;
+    tracked = [];
+    entry_locs = [];
+    out_locs = [];
+    mu = Hashtbl.create 1;
+    chi = Hashtbl.create 1;
+    phis = Hashtbl.create 1;
+    ret_vers = Hashtbl.create 1;
+    nversions = Hashtbl.create 1;
+  }
+
+(** [hook] runs before each function (fault injection / budget ticks from
+    the driver); [on_fault] — when given — catches any exception raised
+    while processing one function, reports it, and substitutes
+    [empty_func_ssa] so the remaining functions still get real Memory SSA. *)
+let build ?budget ?hook ?on_fault (p : P.t) (pa : Analysis.Andersen.t)
+    (cg : Analysis.Callgraph.t) (mr : Analysis.Modref.t) : t =
   let funcs = Hashtbl.create 16 in
-  P.iter_funcs (fun f -> Hashtbl.replace funcs f.fname (build_func pa cg mr f)) p;
+  P.iter_funcs
+    (fun f ->
+      let fs =
+        match on_fault with
+        | None ->
+          (match hook with Some h -> h f.fname | None -> ());
+          (match budget with
+          | Some b -> Diag.Budget.tick b Diag.Memssa
+          | None -> ());
+          build_func pa cg mr f
+        | Some report -> (
+          try
+            (match hook with Some h -> h f.fname | None -> ());
+            (match budget with
+            | Some b -> Diag.Budget.tick b Diag.Memssa
+            | None -> ());
+            build_func pa cg mr f
+          with e ->
+            report f.fname e;
+            empty_func_ssa f.fname)
+      in
+      Hashtbl.replace funcs f.fname fs)
+    p;
   { prog = p; pa; cg; mr; funcs }
 
 (* ------------------------------------------------------------------ *)

@@ -49,9 +49,21 @@ type t = {
   funcs : (fname, func_ssa) Hashtbl.t;
 }
 
+(** Build Memory SSA for every function. [budget] adds a cooperative
+    deadline tick per function; [hook] runs before each function (fault
+    injection from the driver); [on_fault] — when given — catches any
+    exception raised while processing one function, reports it, and
+    substitutes an inert, empty per-function SSA, which is only sound if the
+    caller then distrusts that function. *)
 val build :
+  ?budget:Diag.Budget.t ->
+  ?hook:(fname -> unit) ->
+  ?on_fault:(fname -> exn -> unit) ->
   Ir.Prog.t -> Analysis.Andersen.t -> Analysis.Callgraph.t ->
   Analysis.Modref.t -> t
+
+(** The inert per-function SSA used by [on_fault] degradation. *)
+val empty_func_ssa : fname -> func_ssa
 
 val func_ssa : t -> fname -> func_ssa
 

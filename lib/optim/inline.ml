@@ -71,7 +71,7 @@ let inline_at (p : P.t) (caller : func) (at : label) (callee : func) : func =
             call_block := b.bid;
             match i.kind with
             | Call c -> call_info := Some c
-            | _ -> invalid_arg "Inline.inline_at: label is not a call"
+            | _ -> Diag.error Diag.Optim "Inline.inline_at: label is not a call"
           end)
         b.instrs)
     caller.blocks;
@@ -104,7 +104,7 @@ let inline_at (p : P.t) (caller : func) (at : label) (callee : func) : func =
   in
   let blk = caller.blocks.(!call_block) in
   let rec split pre = function
-    | [] -> invalid_arg "Inline.inline_at: call vanished"
+    | [] -> Diag.error Diag.Optim "Inline.inline_at: call vanished"
     | i :: rest when i.lbl = at -> (List.rev pre, rest)
     | i :: rest -> split (i :: pre) rest
   in

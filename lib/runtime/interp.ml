@@ -22,7 +22,15 @@ module Item = Instr.Item
 
 exception Runtime_error of string
 
+(** A resource limit (steps, objects, call depth) tripped — the *workload*
+    outgrew the sandbox. Distinct from [Runtime_error], which means the
+    program itself did something wrong (wild pointer, bad arity, ...), so
+    callers can tell "needs a bigger budget" apart from "buggy program". *)
+exception Resource_exhausted of { what : string; limit : int }
+
 let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let exhausted what limit = raise (Resource_exhausted { what; limit })
 
 (* ------------------------------------------------------------------ *)
 (* Values and memory                                                   *)
@@ -347,7 +355,8 @@ type state = {
 }
 
 let new_obj st ~cells ~init ~name : int =
-  if st.nobjs >= st.limits.max_objects then error "too many objects";
+  if st.nobjs >= st.limits.max_objects then
+    exhausted "objects" st.limits.max_objects;
   let id = st.nobjs in
   let cells_arr =
     Array.init (max cells 1) (fun off ->
@@ -421,7 +430,8 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
     cp.globals;
   let cnt = st.cnt in
   let rec call (f : cfunc) (args : value array) ~depth : value =
-    if depth > st.limits.max_depth then error "call depth exceeded";
+    if depth > st.limits.max_depth then
+      exhausted "call depth" st.limits.max_depth;
     let regs = Array.make (max 1 f.nslots) (vint 0) in
     let sregs = Array.make (max 1 f.nslots) true in
     Array.iteri
@@ -538,7 +548,8 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
       for idx = !nphis to n - 1 do
         let i = b.body.(idx) in
         st.steps <- st.steps + 1;
-        if st.steps > st.limits.max_steps then error "step limit exceeded";
+        if st.steps > st.limits.max_steps then
+          exhausted "steps" st.limits.max_steps;
         exec_actions i.pre;
         (match i.ckind with
         | CConst (x, n) ->
@@ -640,7 +651,8 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
       (* Terminators count as steps too, or an empty infinite loop would
          never hit the step limit. *)
       st.steps <- st.steps + 1;
-      if st.steps > st.limits.max_steps then error "step limit exceeded";
+      if st.steps > st.limits.max_steps then
+        exhausted "steps" st.limits.max_steps;
       match b.cterm with
       | CTBr (o, b1, b2) ->
         cnt.branch <- cnt.branch + 1;

@@ -16,6 +16,11 @@
 
 exception Runtime_error of string
 
+(** A resource limit (steps, objects, call depth) tripped — the workload
+    outgrew the sandbox, as opposed to [Runtime_error], which means the
+    program itself misbehaved. *)
+exception Resource_exhausted of { what : string; limit : int }
+
 (** A compiled program (slot-resolved IR plus plan). *)
 type cprog
 

@@ -65,6 +65,6 @@ let struct_fields (prog : program) (name : string) : (string * ty) list =
   let rec find = function
     | Istruct s :: _ when s.sname = name -> s.sfields
     | _ :: rest -> find rest
-    | [] -> invalid_arg ("unknown struct " ^ name)
+    | [] -> Diag.error Diag.Lower "unknown struct %s" name
   in
   find prog

@@ -1,6 +1,6 @@
-(* Hand-rolled lexer for TinyC. Supports // and /* */ comments. *)
-
-exception Error of string
+(* Hand-rolled lexer for TinyC. Supports // and /* */ comments.
+   Errors are located structured diagnostics: [Diag.Error] with phase
+   [Diag.Lex] and the current line/col. *)
 
 type t = {
   src : string;
@@ -12,7 +12,7 @@ type t = {
 let create src = { src; pos = 0; line = 1; col = 1 }
 
 let fail lx fmt =
-  Fmt.kstr (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" lx.line lx.col s))) fmt
+  Diag.error ~loc:{ Diag.line = lx.line; col = lx.col } Diag.Lex fmt
 
 let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
 

@@ -1,7 +1,5 @@
 (** Hand-rolled lexer for TinyC. Supports // and /* */ comments. *)
 
-exception Error of string
-
 (** Tokenize a whole source string (the last element is EOF).
-    @raise Error with position information on bad input. *)
+    @raise Diag.Error with phase [Diag.Lex] and line/col on bad input. *)
 val tokenize : string -> Token.spanned list

@@ -14,9 +14,7 @@
 open Ir.Types
 module B = Ir.Builder
 
-exception Error of string
-
-let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+let fail fmt = Diag.error Diag.Lower fmt
 
 type env = {
   prog : Ir.Prog.t;
@@ -146,7 +144,7 @@ and lower_array_base env (e : Ast.expr) : var * Ast.ty =
   in
   match e with
   | Ast.Eident _ | Ast.Efield _ | Ast.Earrow _ -> (
-    match (try as_decayed () with Error _ -> None) with
+    match (try as_decayed () with Diag.Error _ -> None) with
     | Some r -> r
     | None ->
       let v, ty = lower_value env e in

@@ -4,10 +4,10 @@
     address does not escape); the C address-of operator disappears;
     [malloc]/[calloc] become heap allocations. *)
 
-exception Error of string
-
 val lower_program : Ast.program -> Ir.Prog.t
 
 (** Parse and lower a TinyC source string.
-    @raise Error on semantic errors (unknown names, arity mismatches, ...) *)
+    @raise Diag.Error with phase [Diag.Lower] on semantic errors (unknown
+    names, arity mismatches, ...), [Diag.Parse]/[Diag.Lex] from the
+    frontend stages. *)
 val compile : string -> Ir.Prog.t

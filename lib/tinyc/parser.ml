@@ -2,8 +2,6 @@
 
 open Token
 
-exception Error of string
-
 type t = { toks : Token.spanned array; mutable cur : int }
 
 let create toks = { toks = Array.of_list toks; cur = 0 }
@@ -12,14 +10,14 @@ let peek p = p.toks.(p.cur).tok
 let peek_at p n =
   if p.cur + n < Array.length p.toks then p.toks.(p.cur + n).tok else EOF
 
+(* Parse errors are located structured diagnostics anchored at the current
+   token, which also names itself in the message. *)
 let fail p fmt =
   let { tok; line; col } = p.toks.(p.cur) in
   Fmt.kstr
     (fun s ->
-      raise
-        (Error
-           (Printf.sprintf "parse error at line %d, col %d (near %S): %s" line
-              col (Token.to_string tok) s)))
+      Diag.error ~loc:{ Diag.line; col } Diag.Parse "near %S: %s"
+        (Token.to_string tok) s)
     fmt
 
 let advance p = p.cur <- p.cur + 1

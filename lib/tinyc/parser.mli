@@ -1,7 +1,5 @@
 (** Recursive-descent parser for TinyC with precedence climbing. *)
 
-exception Error of string
-
-(** @raise Error (with position) on syntax errors;
-    @raise Lexer.Error on lexical errors. *)
+(** @raise Diag.Error with phase [Diag.Parse] (and line/col) on syntax
+    errors, or phase [Diag.Lex] on lexical errors. *)
 val parse_program : string -> Ast.program

@@ -16,6 +16,8 @@ type t = {
   pct_reaching : float;          (* %B: nodes needing tracking *)
   opt1_simplified : int;         (* S (second): closures simplified *)
   opt2_redirected : int;         (* R *)
+  degraded_functions : string list;   (* distrusted: MSan instrumentation *)
+  degradation_events : string list;   (* the ladder's audit trail *)
 }
 
 let kloc_of_source (src : string) : float =
@@ -54,12 +56,14 @@ let compute ~(src : string) (a : Pipeline.analysis) : t =
     (fun f -> var_tl := !var_tl + List.length (Ir.Func.defined_vars f))
     a.prog;
   let ss = Vfg.Build.store_stats a.vfg in
-  let guided =
-    Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg a.gamma
+  (* Statistics must survive a degraded analysis: if the guided traversal
+     itself faults on the degraded artifacts, report full coverage. *)
+  let try_guided ~opt1 =
+    try Some (Instr.Guided.build ~options:{ Instr.Guided.opt1 } a.vfg a.gamma)
+    with _ -> None
   in
-  let opt1 =
-    Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.gamma
-  in
+  let guided = try_guided ~opt1:false in
+  let opt1 = try_guided ~opt1:true in
   let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
   {
     kloc = kloc_of_source src;
@@ -77,7 +81,13 @@ let compute ~(src : string) (a : Pipeline.analysis) : t =
     pct_strong = pct ss.strong ss.total_stores;
     pct_weak_singleton = pct ss.weak_singleton ss.total_stores;
     vfg_nodes = Vfg.Graph.nnodes a.vfg.graph;
-    pct_reaching = pct guided.needed_nodes (Vfg.Graph.nnodes a.vfg.graph);
-    opt1_simplified = opt1.opt1_simplified;
+    pct_reaching =
+      (match guided with
+      | Some g -> pct g.needed_nodes (Vfg.Graph.nnodes a.vfg.graph)
+      | None -> 100.0);
+    opt1_simplified =
+      (match opt1 with Some o -> o.opt1_simplified | None -> 0);
     opt2_redirected = a.opt2.redirected;
+    degraded_functions = Pipeline.distrusted_functions a;
+    degradation_events = List.map Degrade.to_string !(a.events);
   }

@@ -16,6 +16,8 @@ type t = {
   pct_reaching : float;          (** %B: nodes needing tracking *)
   opt1_simplified : int;         (** closures simplified by Opt I *)
   opt2_redirected : int;         (** R: nodes redirected by Opt II *)
+  degraded_functions : string list;   (** distrusted: MSan instrumentation *)
+  degradation_events : string list;   (** the ladder's audit trail *)
 }
 
 val kloc_of_source : string -> float

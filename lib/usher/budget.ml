@@ -1,0 +1,31 @@
+(* Resource budgets for the analysis pipeline.
+
+   The mechanics (deadline clock, fuel counters, amortized polling) live in
+   [Diag.Budget] so that every analysis library can burn fuel without
+   depending on the usher layer; this module is the policy end: it turns
+   the user-facing knobs into a budget and re-exports the mechanics. *)
+
+include Diag.Budget
+
+let of_knobs (k : Config.knobs) : Diag.Budget.t option =
+  match (k.budget_ms, k.solver_fuel, k.vfg_node_cap, k.resolve_fuel) with
+  | None, None, None, None -> None
+  | _ ->
+    Some
+      (Diag.Budget.make ?budget_ms:k.budget_ms ?solver_fuel:k.solver_fuel
+         ?resolve_fuel:k.resolve_fuel ?vfg_node_cap:k.vfg_node_cap ())
+
+(* Human-readable summary of the limits in force. *)
+let describe (k : Config.knobs) : string option =
+  let parts =
+    List.filter_map
+      (fun (name, v) ->
+        match v with Some n -> Some (Printf.sprintf "%s=%d" name n) | None -> None)
+      [
+        ("budget-ms", k.budget_ms);
+        ("solver-fuel", k.solver_fuel);
+        ("vfg-cap", k.vfg_node_cap);
+        ("resolve-fuel", k.resolve_fuel);
+      ]
+  in
+  match parts with [] -> None | _ -> Some (String.concat " " parts)

@@ -17,6 +17,21 @@ let variant_name = function
   | Usher_opt1 -> "Usher_OptI"
   | Usher_full -> "Usher"
 
+(** How an injected fault manifests at a phase boundary. *)
+type fault_kind =
+  | Crash      (** the phase raises a structured diagnostic *)
+  | Exhaust    (** the phase reports its resource budget as blown *)
+
+(** A fault to inject (testing the degradation ladder): fires when the
+    pipeline enters [fphase] — at the phase boundary when [ffunc] is
+    [None], or while processing that one function otherwise (only phases
+    with per-function isolation consult function-scoped faults). *)
+type fault = {
+  fphase : Diag.phase;
+  ffunc : string option;
+  fkind : fault_kind;
+}
+
 (** Ablation switches (DESIGN.md §5); the paper's configuration is
     [default]. *)
 type knobs = {
@@ -27,6 +42,11 @@ type knobs = {
   small_array_fields : int;
       (** extension beyond the paper (see Analysis.Andersen.config);
           0 = the paper's arrays-as-a-whole treatment *)
+  budget_ms : int option;      (** wall-clock budget for the whole analysis *)
+  solver_fuel : int option;    (** Andersen worklist iterations *)
+  vfg_node_cap : int option;   (** VFG size cap *)
+  resolve_fuel : int option;   (** Γ resolution states *)
+  inject : fault list;         (** faults to inject (tests/CLI) *)
 }
 
 let default_knobs =
@@ -36,4 +56,9 @@ let default_knobs =
     field_sensitive = true;
     heap_cloning = true;
     small_array_fields = 0;
+    budget_ms = None;
+    solver_fuel = None;
+    vfg_node_cap = None;
+    resolve_fuel = None;
+    inject = [];
   }

@@ -11,6 +11,20 @@ type variant =
 val all_variants : variant list
 val variant_name : variant -> string
 
+(** How an injected fault manifests at a phase boundary. *)
+type fault_kind =
+  | Crash      (** the phase raises a structured diagnostic *)
+  | Exhaust    (** the phase reports its resource budget as blown *)
+
+(** A fault to inject (testing the degradation ladder): fires when the
+    pipeline enters [fphase] — at the phase boundary when [ffunc] is
+    [None], or while processing that one function otherwise. *)
+type fault = {
+  fphase : Diag.phase;
+  ffunc : string option;
+  fkind : fault_kind;
+}
+
 (** Ablation switches (DESIGN.md §5); the paper's configuration is
     {!default_knobs}. *)
 type knobs = {
@@ -21,6 +35,11 @@ type knobs = {
   small_array_fields : int;
       (** extension beyond the paper (see {!Analysis.Andersen.config});
           0 = the paper's arrays-as-a-whole treatment *)
+  budget_ms : int option;      (** wall-clock budget for the whole analysis *)
+  solver_fuel : int option;    (** Andersen worklist iterations *)
+  vfg_node_cap : int option;   (** VFG size cap *)
+  resolve_fuel : int option;   (** Γ resolution states *)
+  inject : fault list;         (** faults to inject (tests/CLI) *)
 }
 
 val default_knobs : knobs

@@ -1,0 +1,19 @@
+(* Degradation events: the audit trail of the resilience ladder.
+
+   Whenever a phase blows its budget or faults, the pipeline falls back to
+   a sound coarser result (all-undefined Γ, per-function distrust, or
+   whole-program full instrumentation) and records what happened here, so
+   drivers can surface exactly which guarantees were traded away. *)
+
+type event = {
+  phase : Diag.phase;
+  func : string option;  (* None = whole-program degradation *)
+  action : string;       (* what the ladder did about it *)
+  diag : Diag.t;         (* the underlying failure *)
+}
+
+let to_string (e : event) : string =
+  Printf.sprintf "[degrade] %s%s: %s (%s)"
+    (Diag.phase_name e.phase)
+    (match e.func with Some f -> "/" ^ f | None -> "")
+    e.action (Diag.to_string e.diag)

@@ -1,0 +1,10 @@
+(** Degradation events: the audit trail of the resilience ladder. *)
+
+type event = {
+  phase : Diag.phase;
+  func : string option;  (** [None] = whole-program degradation *)
+  action : string;       (** what the ladder did about it *)
+  diag : Diag.t;         (** the underlying failure *)
+}
+
+val to_string : event -> string

@@ -60,8 +60,9 @@ let covered (prog : Ir.Prog.t) (detections : (Ir.Types.label, unit) Hashtbl.t)
 let run ?(name = "program") ?(level = Optim.Pipeline.O0_IM)
     ?(knobs = Config.default_knobs) ?(variants = Config.all_variants)
     ?(check_soundness = true) ?limits (src : string) : t =
-  let prog = Pipeline.front ~level src in
+  let prog, front_events = Pipeline.front_guarded ~level ~knobs src in
   let analysis = Pipeline.analyze ~knobs prog in
+  analysis.events := front_events @ !(analysis.events);
   let table1 = Analysis_stats.compute ~src analysis in
   let native = Runtime.Interp.run_native ?limits prog in
   let compress = level <> Optim.Pipeline.O0_IM in

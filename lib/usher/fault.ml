@@ -1,0 +1,71 @@
+(* Fault injection at phase boundaries.
+
+   The degradation ladder is only trustworthy if it is exercised; these
+   hooks let tests and the CLI make any phase crash or exhaust its budget
+   on demand. A fault spec names a phase, optionally one function (for
+   phases with per-function isolation), and how the failure manifests. *)
+
+let all_phases =
+  [
+    Diag.Lex; Diag.Parse; Diag.Lower; Diag.Ir; Diag.Optim; Diag.Andersen;
+    Diag.Callgraph; Diag.Modref; Diag.Memssa; Diag.Vfg_build; Diag.Resolve;
+    Diag.Opt2; Diag.Instrument; Diag.Interp; Diag.Driver;
+  ]
+
+let phase_of_string (s : string) : Diag.phase option =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun p -> String.lowercase_ascii (Diag.phase_name p) = s) all_phases
+
+(* Raise the configured failure if a fault targets this point. [func] is
+   [None] at a phase boundary, [Some f] inside a per-function loop. *)
+let check (knobs : Config.knobs) (phase : Diag.phase) (func : string option) :
+    unit =
+  List.iter
+    (fun (f : Config.fault) ->
+      let hit =
+        f.fphase = phase
+        &&
+        match (f.ffunc, func) with
+        | None, None -> true
+        | Some a, Some b -> a = b
+        | None, Some _ | Some _, None -> false
+      in
+      if hit then
+        match f.fkind with
+        | Config.Crash -> Diag.error phase "injected fault"
+        | Config.Exhaust ->
+          raise
+            (Diag.Budget.Exhausted
+               { phase; resource = Diag.Budget.Wall_clock; limit = 0 }))
+    knobs.inject
+
+(* Parse a CLI fault spec: PHASE[:FUNC][=crash|exhaust]. *)
+let of_spec (s : string) : (Config.fault, string) result =
+  let body, fkind =
+    match String.index_opt s '=' with
+    | None -> (s, Ok Config.Crash)
+    | Some i ->
+      let k = String.sub s (i + 1) (String.length s - i - 1) in
+      ( String.sub s 0 i,
+        match String.lowercase_ascii k with
+        | "crash" -> Ok Config.Crash
+        | "exhaust" -> Ok Config.Exhaust
+        | _ -> Error (Printf.sprintf "unknown fault kind %S" k) )
+  in
+  let phase_s, ffunc =
+    match String.index_opt body ':' with
+    | None -> (body, None)
+    | Some i ->
+      ( String.sub body 0 i,
+        Some (String.sub body (i + 1) (String.length body - i - 1)) )
+  in
+  match (fkind, phase_of_string phase_s) with
+  | Error e, _ -> Error e
+  | Ok _, None -> Error (Printf.sprintf "unknown phase %S" phase_s)
+  | Ok fkind, Some fphase -> Ok { Config.fphase; ffunc; fkind }
+
+let to_string (f : Config.fault) : string =
+  Printf.sprintf "%s%s=%s"
+    (Diag.phase_name f.Config.fphase)
+    (match f.Config.ffunc with Some fn -> ":" ^ fn | None -> "")
+    (match f.Config.fkind with Config.Crash -> "crash" | Config.Exhaust -> "exhaust")

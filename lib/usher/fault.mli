@@ -1,0 +1,17 @@
+(** Fault injection at phase boundaries — the test harness for the
+    degradation ladder. A fault spec names a phase, optionally one
+    function, and whether it manifests as a crash (structured diagnostic)
+    or as budget exhaustion. *)
+
+val all_phases : Diag.phase list
+val phase_of_string : string -> Diag.phase option
+
+(** Raise the configured failure if some fault in [knobs.inject] targets
+    this point: [func] is [None] at a phase boundary, [Some f] inside a
+    per-function loop. No-op otherwise. *)
+val check : Config.knobs -> Diag.phase -> string option -> unit
+
+(** Parse [PHASE[:FUNC][=crash|exhaust]] (kind defaults to crash). *)
+val of_spec : string -> (Config.fault, string) result
+
+val to_string : Config.fault -> string

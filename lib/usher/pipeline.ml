@@ -5,7 +5,25 @@
 
    [analyze] produces every artifact shared by the variants; [plan_for]
    derives the instrumentation plan of one variant. Analysis wall time and
-   peak heap are recorded for Table 1. *)
+   peak heap are recorded for Table 1.
+
+   Resilience: every phase runs under an optional resource budget and a
+   fault guard. Failures never escape as crashes and never lose checks —
+   they walk down a degradation ladder whose every rung is sound because
+   it only ever grows the ⊥ set / the instrumentation:
+
+   - rung 1: Opt II faults (or any function is distrusted) → Usher keeps
+     the pre-Opt-II Γ, i.e. redundant checks stay in;
+   - rung 2: Γ resolution faults → Γ := all-undefined, i.e. guided
+     instrumentation degenerates towards full;
+   - rung 3: memory SSA or VFG construction faults on one function → that
+     function is "distrusted": its VFG fragment is forced to ⊥, it gets
+     the full (MSan) item set, and the calling protocol is relayed across
+     the trust boundary;
+   - rung 4: a whole-program phase (pointer analysis, call graph, mod/ref)
+     faults → every variant degrades to full instrumentation.
+
+   Every step down the ladder is recorded as a [Degrade.event]. *)
 
 type analysis = {
   prog : Ir.Prog.t;
@@ -21,6 +39,10 @@ type analysis = {
   analysis_time_s : float;            (* pointer analysis through Opt II *)
   analysis_mem_mb : float;
   knobs : Config.knobs;
+  distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t;
+      (* functions whose static results are no longer trusted *)
+  degraded_all : bool;                (* rung 4: everything falls back to MSan *)
+  events : Degrade.event list ref;    (* the ladder's audit trail, in order *)
 }
 
 let front ?(level = Optim.Pipeline.O0_IM) (src : string) : Ir.Prog.t =
@@ -28,39 +50,202 @@ let front ?(level = Optim.Pipeline.O0_IM) (src : string) : Ir.Prog.t =
   Optim.Pipeline.run level prog;
   prog
 
+(* Guarded front end. Frontend diagnostics (lex/parse/lower) propagate —
+   there is no sound fallback for source we cannot compile — but an
+   optimizer fault degrades to a fresh unoptimized lowering, which is
+   valid SSA by construction (the faulting pass may have left the first
+   program half-rewritten). *)
+let front_guarded ?(level = Optim.Pipeline.O0_IM)
+    ?(knobs = Config.default_knobs) (src : string) :
+    Ir.Prog.t * Degrade.event list =
+  let prog = Tinyc.Lower.compile src in
+  try
+    Fault.check knobs Diag.Optim None;
+    Optim.Pipeline.run level prog;
+    (prog, [])
+  with e ->
+    let d = Diag.of_exn Diag.Optim e in
+    ( Tinyc.Lower.compile src,
+      [
+        {
+          Degrade.phase = Diag.Optim;
+          func = None;
+          action = "optimizer disabled; fresh unoptimized lowering";
+          diag = d;
+        };
+      ] )
+
 let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
   let t0 = Sys.time () in
   let heap0 = (Gc.quick_stat ()).Gc.heap_words in
-  let pa =
-    Analysis.Andersen.run
-      ~config:
+  let budget = Budget.of_knobs knobs in
+  let events : Degrade.event list ref = ref [] in
+  let distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t = Hashtbl.create 4 in
+  let degraded_all = ref false in
+  let push ev = events := !events @ [ ev ] in
+  let distrust phase fname exn =
+    let d = Diag.of_exn phase exn in
+    if not (Hashtbl.mem distrusted fname) then begin
+      Hashtbl.replace distrusted fname d;
+      push
         {
-          Analysis.Andersen.field_sensitive = knobs.field_sensitive;
-          heap_cloning = knobs.heap_cloning;
-          small_array_fields = knobs.small_array_fields;
+          Degrade.phase;
+          func = Some fname;
+          action = "function distrusted; full instrumentation";
+          diag = d;
         }
-      prog
+    end
   in
-  let cg = Analysis.Callgraph.build prog pa in
-  let mr = Analysis.Modref.compute prog pa cg in
-  let mssa = Memssa.build prog pa cg mr in
+  let fail_all phase exn =
+    degraded_all := true;
+    push
+      {
+        Degrade.phase;
+        func = None;
+        action = "whole-program degradation to full instrumentation";
+        diag = Diag.of_exn phase exn;
+      }
+  in
+  (* Trusted-from-nothing artifact chain, for rung 4: the stub pointer
+     analysis knows no objects, so everything downstream of it is small
+     and deterministic. Shared lazily so the record stays consistent. *)
+  let stub_chain =
+    lazy
+      (let pa = Analysis.Andersen.stub prog in
+       let cg = Analysis.Callgraph.build prog pa in
+       let mr = Analysis.Modref.compute prog pa cg in
+       let mssa = Memssa.build ~on_fault:(fun _ _ -> ()) prog pa cg mr in
+       (pa, cg, mr, mssa))
+  in
+  let s_pa () = let x, _, _, _ = Lazy.force stub_chain in x in
+  let s_cg () = let _, x, _, _ = Lazy.force stub_chain in x in
+  let s_mr () = let _, _, x, _ = Lazy.force stub_chain in x in
+  let s_mssa () = let _, _, _, x = Lazy.force stub_chain in x in
+  (* Whole-program phase guard: a fault is rung 4. *)
+  let guard phase ~fallback f =
+    if !degraded_all then fallback ()
+    else
+      try
+        Fault.check knobs phase None;
+        (* the in-phase polls are amortized; the boundary check makes even
+           a tiny program notice an already-blown deadline *)
+        (match budget with
+        | Some b -> Diag.Budget.check_deadline b phase
+        | None -> ());
+        f ()
+      with e ->
+        fail_all phase e;
+        fallback ()
+  in
+  let pa =
+    guard Diag.Andersen ~fallback:s_pa (fun () ->
+        Analysis.Andersen.run
+          ~config:
+            {
+              Analysis.Andersen.field_sensitive = knobs.field_sensitive;
+              heap_cloning = knobs.heap_cloning;
+              small_array_fields = knobs.small_array_fields;
+            }
+          ?budget prog)
+  in
+  let cg =
+    guard Diag.Callgraph ~fallback:s_cg (fun () ->
+        Analysis.Callgraph.build prog pa)
+  in
+  let mr =
+    guard Diag.Modref ~fallback:s_mr (fun () ->
+        Analysis.Modref.compute prog pa cg)
+  in
+  let mssa =
+    guard Diag.Memssa ~fallback:s_mssa (fun () ->
+        Memssa.build ?budget
+          ~hook:(fun fn -> Fault.check knobs Diag.Memssa (Some fn))
+          ~on_fault:(fun fn e -> distrust Diag.Memssa fn e)
+          prog pa cg mr)
+  in
+  (* If rung 4 triggered anywhere above, swap in the whole stub chain so
+     the artifacts agree with each other (mixing a real mod/ref with a
+     stub points-to would dangle object ids). *)
+  let pa, cg, mr, mssa =
+    if !degraded_all then (s_pa (), s_cg (), s_mr (), s_mssa ())
+    else (pa, cg, mr, mssa)
+  in
+  let build_vfg ~track_memory ~guarded () =
+    let config = { Vfg.Build.track_memory; semi_strong = knobs.semi_strong } in
+    if guarded then
+      Vfg.Build.build ~config ?budget
+        ~hook:(fun fn -> Fault.check knobs Diag.Vfg_build (Some fn))
+        ~on_fault:(fun fn e -> distrust Diag.Vfg_build fn e)
+        prog pa cg mr mssa
+    else Vfg.Build.build ~config ~on_fault:(fun _ _ -> ()) prog pa cg mr mssa
+  in
   let vfg =
-    Vfg.Build.build
-      ~config:{ Vfg.Build.track_memory = true; semi_strong = knobs.semi_strong }
-      prog pa cg mr mssa
-  in
-  let gamma =
-    Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive vfg.graph
+    guard Diag.Vfg_build
+      ~fallback:(fun () -> build_vfg ~track_memory:true ~guarded:false ())
+      (fun () -> build_vfg ~track_memory:true ~guarded:true ())
   in
   let vfg_tl =
-    Vfg.Build.build
-      ~config:{ Vfg.Build.track_memory = false; semi_strong = knobs.semi_strong }
-      prog pa cg mr mssa
+    guard Diag.Vfg_build
+      ~fallback:(fun () -> build_vfg ~track_memory:false ~guarded:false ())
+      (fun () -> build_vfg ~track_memory:false ~guarded:true ())
   in
-  let gamma_tl =
-    Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive vfg_tl.graph
+  (* Rung 3: force every distrusted function's VFG fragment (and every
+     flow crossing the trust boundary) to ⊥ before resolution, in both
+     graphs. Forcing only adds edges to the F root, so Γ only gains ⊥. *)
+  if (not !degraded_all) && Hashtbl.length distrusted > 0 then begin
+    Vfg.Build.force_distrusted vfg distrusted;
+    Vfg.Build.force_distrusted vfg_tl distrusted
+  end;
+  (* Rung 2: a resolution fault degrades Γ to all-undefined — guided
+     instrumentation is monotone in the ⊥ set, so this only adds items. *)
+  let resolve_guard what (bld : Vfg.Build.t) =
+    if !degraded_all then Vfg.Resolve.all_bot bld.graph
+    else
+      try
+        Fault.check knobs Diag.Resolve None;
+        Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive ?budget
+          bld.graph
+      with e ->
+        push
+          {
+            Degrade.phase = Diag.Resolve;
+            func = None;
+            action = Printf.sprintf "Γ(%s) degraded to all-undefined" what;
+            diag = Diag.of_exn Diag.Resolve e;
+          };
+        Vfg.Resolve.all_bot bld.graph
   in
-  let opt2 = Vfg.Opt2.run ~context_sensitive:knobs.context_sensitive vfg in
+  let gamma = resolve_guard "TL+AT" vfg in
+  let gamma_tl = resolve_guard "TL" vfg_tl in
+  (* Rung 1: without Opt II the redundant checks simply stay in. Opt II is
+     also skipped whenever anything above degraded — its dominance argument
+     assumes the unmodified Γ of a fully analyzed program. *)
+  let opt2 =
+    let keep_checks reason diag =
+      (match (reason, diag) with
+      | Some action, Some d ->
+        push { Degrade.phase = Diag.Opt2; func = None; action; diag = d }
+      | _ -> ());
+      { Vfg.Opt2.gamma; redirected = 0 }
+    in
+    if !degraded_all then keep_checks None None
+    else if Hashtbl.length distrusted > 0 then
+      keep_checks (Some "Opt II skipped; redundant checks kept")
+        (Some
+           {
+             Diag.severity = Diag.Info;
+             phase = Diag.Opt2;
+             loc = None;
+             message = "distrusted functions present";
+           })
+    else
+      try
+        Fault.check knobs Diag.Opt2 None;
+        Vfg.Opt2.run ~context_sensitive:knobs.context_sensitive ?budget vfg
+      with e ->
+        keep_checks (Some "Opt II skipped; redundant checks kept")
+          (Some (Diag.of_exn Diag.Opt2 e))
+  in
   let dt = Sys.time () -. t0 in
   let heap1 = (Gc.quick_stat ()).Gc.heap_words in
   let words = max 0 (heap1 - heap0) in
@@ -78,27 +263,56 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     analysis_time_s = dt;
     analysis_mem_mb = float_of_int (words * 8) /. 1048576.0;
     knobs;
+    distrusted;
+    degraded_all = !degraded_all;
+    events;
   }
 
+let distrusted_functions (a : analysis) : string list =
+  Hashtbl.fold (fun fn _ acc -> fn :: acc) a.distrusted []
+  |> List.sort compare
+
 (** Instrumentation plan of one variant, plus the guided-traversal result
-    when applicable. *)
+    when applicable. Degradation never removes instrumentation: under rung
+    4 (or any last-resort fault while building a guided plan) every
+    variant's plan IS full instrumentation. *)
 let plan_for (a : analysis) (v : Config.variant) :
     Instr.Item.plan * Instr.Guided.result option =
+  let full () = (Instr.Full.build a.prog, None) in
+  let distrust_set =
+    if Hashtbl.length a.distrusted = 0 then None
+    else begin
+      let t = Hashtbl.create (Hashtbl.length a.distrusted) in
+      Hashtbl.iter (fun fn _ -> Hashtbl.replace t fn ()) a.distrusted;
+      Some t
+    end
+  in
+  let guided ~opt1 bld gamma =
+    try
+      Fault.check a.knobs Diag.Instrument None;
+      let r =
+        Instr.Guided.build ~options:{ Instr.Guided.opt1 } ?distrusted:distrust_set
+          bld gamma
+      in
+      (r.plan, Some r)
+    with e ->
+      a.events :=
+        !(a.events)
+        @ [
+            {
+              Degrade.phase = Diag.Instrument;
+              func = None;
+              action =
+                Config.variant_name v ^ " plan degraded to full instrumentation";
+              diag = Diag.of_exn Diag.Instrument e;
+            };
+          ];
+      full ()
+  in
   match v with
-  | Config.Msan -> (Instr.Full.build a.prog, None)
-  | Config.Usher_tl ->
-    let r =
-      Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg_tl a.gamma_tl
-    in
-    (r.plan, Some r)
-  | Config.Usher_tl_at ->
-    let r = Instr.Guided.build ~options:{ Instr.Guided.opt1 = false } a.vfg a.gamma in
-    (r.plan, Some r)
-  | Config.Usher_opt1 ->
-    let r = Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.gamma in
-    (r.plan, Some r)
-  | Config.Usher_full ->
-    let r =
-      Instr.Guided.build ~options:{ Instr.Guided.opt1 = true } a.vfg a.opt2.gamma
-    in
-    (r.plan, Some r)
+  | Config.Msan -> full ()
+  | _ when a.degraded_all -> full ()
+  | Config.Usher_tl -> guided ~opt1:false a.vfg_tl a.gamma_tl
+  | Config.Usher_tl_at -> guided ~opt1:false a.vfg a.gamma
+  | Config.Usher_opt1 -> guided ~opt1:true a.vfg a.gamma
+  | Config.Usher_full -> guided ~opt1:true a.vfg a.opt2.gamma

@@ -1,7 +1,14 @@
 (** The end-to-end Usher pipeline (the paper's Fig. 3):
 
     source → IR → O-level optimization → pointer analysis → memory SSA →
-    VFG → definedness resolution → instrumentation plans. *)
+    VFG → definedness resolution → instrumentation plans.
+
+    Every phase runs under an optional resource budget ({!Config.knobs})
+    and a fault guard; failures walk a sound degradation ladder instead of
+    escaping: Opt II is dropped, Γ falls to all-undefined, single functions
+    are distrusted (full instrumentation + ⊥-forced VFG fragment), or the
+    whole program degrades to MSan. Degradation only ever adds
+    instrumentation, so no undefined use is lost. *)
 
 type analysis = {
   prog : Ir.Prog.t;
@@ -17,15 +24,32 @@ type analysis = {
   analysis_time_s : float;
   analysis_mem_mb : float;
   knobs : Config.knobs;
+  distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t;
+      (** functions whose static results are no longer trusted *)
+  degraded_all : bool;  (** rung 4: every variant falls back to MSan *)
+  events : Degrade.event list ref;  (** the ladder's audit trail, in order *)
 }
 
 (** Parse, lower and optimize a TinyC source (default level O0+IM). *)
 val front : ?level:Optim.Pipeline.level -> string -> Ir.Prog.t
 
-(** Every analysis artifact shared by the variants. *)
+(** Like {!front}, but an optimizer fault degrades to a fresh unoptimized
+    lowering instead of crashing (frontend diagnostics still propagate:
+    there is no sound fallback for uncompilable source). *)
+val front_guarded :
+  ?level:Optim.Pipeline.level ->
+  ?knobs:Config.knobs ->
+  string ->
+  Ir.Prog.t * Degrade.event list
+
+(** Every analysis artifact shared by the variants. Never raises for
+    budget exhaustion or injected faults — it degrades instead. *)
 val analyze : ?knobs:Config.knobs -> Ir.Prog.t -> analysis
 
+(** Distrusted functions, sorted. *)
+val distrusted_functions : analysis -> string list
+
 (** Instrumentation plan of one variant, plus the guided-traversal result
-    when applicable (None for MSan). *)
+    when applicable (None for MSan and for degraded-to-full plans). *)
 val plan_for :
   analysis -> Config.variant -> Instr.Item.plan * Instr.Guided.result option

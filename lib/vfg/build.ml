@@ -82,9 +82,15 @@ let derives_only_from_alloc (defs : (var, instr_kind) Hashtbl.t) (x : var)
      cyclic arm, which is conservative (cycle => false for that arm). *)
   go x
 
-let build ?(config = default_config) (p : P.t) (pa : Analysis.Andersen.t)
-    (cg : Analysis.Callgraph.t) (mr : Analysis.Modref.t) (mssa : Memssa.t) : t
-    =
+(** [hook] runs before each function (fault injection from the driver);
+    [budget] adds a deadline tick and the VFG node-cap check per function;
+    [on_fault] — when given — catches any exception raised while processing
+    one function and reports it, leaving that function's value-flow fragment
+    partial. A partial fragment is only sound if the caller then distrusts
+    the function (see [force_distrusted]). *)
+let build ?(config = default_config) ?budget ?hook ?on_fault (p : P.t)
+    (pa : Analysis.Andersen.t) (cg : Analysis.Callgraph.t)
+    (mr : Analysis.Modref.t) (mssa : Memssa.t) : t =
   let g = Graph.create () in
   let troot = t_id g and froot = f_id g in
   let objects = pa.objects in
@@ -107,7 +113,7 @@ let build ?(config = default_config) (p : P.t) (pa : Analysis.Andersen.t)
     p;
   let mem fname l ver = Graph.intern g (Graph.Mem (fname, l, ver)) in
   (* Per-function processing. *)
-  P.iter_funcs
+  let process_func =
     (fun f ->
       let fn = f.fname in
       let fs = Memssa.func_ssa mssa fn in
@@ -372,6 +378,26 @@ let build ?(config = default_config) (p : P.t) (pa : Analysis.Andersen.t)
             criticals := { clbl = b.term.tlbl; cop = o; cfunc = fn } :: !criticals
           | Jmp _ | Ret _ -> ())
         f.blocks)
+  in
+  P.iter_funcs
+    (fun f ->
+      let pre () =
+        (match hook with Some h -> h f.fname | None -> ());
+        match budget with
+        | Some b ->
+          Diag.Budget.tick b Diag.Vfg_build;
+          Diag.Budget.check_nodes b Diag.Vfg_build (Graph.nnodes g)
+        | None -> ()
+      in
+      match on_fault with
+      | None ->
+        pre ();
+        process_func f
+      | Some report -> (
+        try
+          pre ();
+          process_func f
+        with e -> report f.fname e))
     p;
   {
     graph = g;
@@ -386,6 +412,76 @@ let build ?(config = default_config) (p : P.t) (pa : Analysis.Andersen.t)
     semi_strong_cuts = !semi_cuts;
     ret_operands;
   }
+
+(** Soundness forcing for per-function degradation. When a function's
+    Memory SSA or value-flow fragment is partial (its phase faulted or ran
+    out of budget), the guided plan can no longer reason about anything it
+    produces. Pin to the F root:
+
+    - every node defined inside a distrusted function (its fragment may be
+      arbitrarily incomplete);
+    - the formal parameters and entry memory states of everything it calls
+      (its own argument/virtual-parameter edges may be missing, and it may
+      pass garbage);
+    - the call results and call-site memory versions a *trusted* caller
+      receives from a distrusted callee.
+
+    Every crossing edge from trusted code into a distrusted fragment is
+    added by the trusted side's processing, so after forcing, any value flow
+    that could have traversed the missing fragment reaches F through its
+    first distrusted node. Adding edges only ever grows the ⊥ set, so the
+    re-resolved Γ stays sound and degradation monotonically adds checks. *)
+let force_distrusted (t : t) (distrusted : (fname, 'a) Hashtbl.t) : unit =
+  if Hashtbl.length distrusted > 0 then begin
+    let g = t.graph in
+    let froot = f_id g in
+    let force id = Graph.add_edge g ~src:id ~dst:froot Eintra in
+    let force_node n = match Graph.find g n with Some id -> force id | None -> () in
+    let in_d fn = Hashtbl.mem distrusted fn in
+    Graph.iter_nodes
+      (fun id _ ->
+        match Graph.def_of g id with
+        | Graph.Dinstr (fn, _)
+        | Graph.Dparam fn
+        | Graph.Dchi (fn, _)
+        | Graph.Dmemphi (fn, _)
+        | Graph.Dentry fn ->
+          if in_d fn then force id
+        | Graph.Droot -> ())
+      g;
+    P.iter_instrs
+      (fun f _ i ->
+        match i.kind with
+        | Call { cdst; _ } ->
+          let targets = Analysis.Callgraph.site_callees t.cg i.lbl in
+          if in_d f.fname then
+            (* Interfaces the distrusted caller feeds. *)
+            List.iter
+              (fun gname ->
+                (match P.find_func t.prog gname with
+                | Some callee ->
+                  List.iter (fun prm -> force_node (Graph.Top prm)) callee.params
+                | None -> ());
+                if t.config.track_memory then
+                  let gfs = Memssa.func_ssa t.mssa gname in
+                  List.iter
+                    (fun l -> force_node (Graph.Mem (gname, l, 1)))
+                    gfs.Memssa.entry_locs)
+              targets
+          else if List.exists in_d targets then begin
+            (* Trusted caller receiving from a distrusted callee. *)
+            (match cdst with
+            | Some x -> force_node (Graph.Top x)
+            | None -> ());
+            if t.config.track_memory then
+              let fs = Memssa.func_ssa t.mssa f.fname in
+              List.iter
+                (fun (l, nv, _) -> force_node (Graph.Mem (f.fname, l, nv)))
+                (Memssa.chi_at fs i.lbl)
+          end
+        | _ -> ())
+      t.prog
+  end
 
 (* Statistics for Table 1. *)
 

@@ -48,14 +48,30 @@ type t = {
 val derives_only_from_alloc :
   (var, instr_kind) Hashtbl.t -> var -> var -> bool
 
+(** Build the VFG. [budget] adds a per-function deadline tick and the node
+    cap; [hook] runs before each function (fault injection from the
+    driver); [on_fault] — when given — catches any exception raised while
+    processing one function and reports it, leaving that function's
+    value-flow fragment partial. Partial fragments are only sound if the
+    caller then distrusts those functions (see {!force_distrusted}). *)
 val build :
   ?config:config ->
+  ?budget:Diag.Budget.t ->
+  ?hook:(fname -> unit) ->
+  ?on_fault:(fname -> exn -> unit) ->
   Ir.Prog.t ->
   Analysis.Andersen.t ->
   Analysis.Callgraph.t ->
   Analysis.Modref.t ->
   Memssa.t ->
   t
+
+(** Soundness forcing for per-function degradation: pin every node defined
+    in a distrusted function — plus the full call interface between
+    distrusted and trusted code — to the F root, so a re-resolved Γ treats
+    everything the distrusted set may influence as potentially undefined.
+    Adding edges only grows the ⊥ set, so the degraded Γ stays sound. *)
+val force_distrusted : t -> (fname, 'a) Hashtbl.t -> unit
 
 (** Store classification counts for Table 1's %SU / %WU columns. *)
 type store_stats = {

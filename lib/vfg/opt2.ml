@@ -19,7 +19,7 @@ type result = {
   redirected : int;        (* |union of R_x| — the paper's R column *)
 }
 
-let run ?(context_sensitive = true) (bld : Build.t) : result =
+let run ?(context_sensitive = true) ?budget (bld : Build.t) : result =
   let g = Graph.copy bld.graph in
   let troot = Graph.intern g Graph.Root_t in
   let p = bld.prog in
@@ -67,6 +67,9 @@ let run ?(context_sensitive = true) (bld : Build.t) : result =
   let redirected = Hashtbl.create 64 in
   List.iter
     (fun (c : Build.critical) ->
+      (match budget with
+      | Some b -> Diag.Budget.tick b Diag.Opt2
+      | None -> ());
       match c.cop with
       | Var x ->
         let defs = defs_of c.cfunc in
@@ -143,5 +146,5 @@ let run ?(context_sensitive = true) (bld : Build.t) : result =
           in_closure
       | Cst _ | Undef -> ())
     bld.criticals;
-  let gamma = Resolve.resolve ~context_sensitive g in
+  let gamma = Resolve.resolve ~context_sensitive ?budget g in
   { gamma; redirected = Hashtbl.length redirected }

@@ -16,4 +16,4 @@ type result = {
   redirected : int;        (** |union of R_x| — Table 1's "R" column *)
 }
 
-val run : ?context_sensitive:bool -> Build.t -> result
+val run : ?context_sensitive:bool -> ?budget:Diag.Budget.t -> Build.t -> result

@@ -24,11 +24,16 @@ let is_undef (g : gamma) (id : int) = g.undef.(id)
     matching — the engine behind definedness resolution and any other
     forward-flow client of the VFG (taint, leak sources, ...). [undef]
     reads as "reached". *)
-let reach ?(context_sensitive = true) (graph : Graph.t) ~(seeds : int list) :
-    gamma =
+let reach ?(context_sensitive = true) ?budget (graph : Graph.t)
+    ~(seeds : int list) : gamma =
   let n = Graph.nnodes graph in
   let undef = Array.make n false in
   let states = ref 0 in
+  let burn () =
+    match budget with
+    | Some b -> Diag.Budget.burn_resolve b Diag.Resolve
+    | None -> ()
+  in
   if seeds <> [] then begin
     if not context_sensitive then begin
       (* Plain reachability over reversed edges. *)
@@ -41,6 +46,7 @@ let reach ?(context_sensitive = true) (graph : Graph.t) ~(seeds : int list) :
       while not (Queue.is_empty work) do
         let v = Queue.pop work in
         incr states;
+        burn ();
         List.iter
           (fun (u, _) ->
             if not undef.(u) then begin
@@ -74,6 +80,7 @@ let reach ?(context_sensitive = true) (graph : Graph.t) ~(seeds : int list) :
       while not (Queue.is_empty work) do
         let v, ctx = Queue.pop work in
         incr states;
+        burn ();
         (* If Cany arrived after this Cat state was queued, skip: Cany will
            (or did) explore strictly more. *)
         let stale = match ctx with Cat _ -> any_seen.(v) | Cany -> false in
@@ -98,11 +105,17 @@ let reach ?(context_sensitive = true) (graph : Graph.t) ~(seeds : int list) :
   end;
   { undef; states_explored = !states }
 
-let resolve ?context_sensitive (graph : Graph.t) : gamma =
+let resolve ?context_sensitive ?budget (graph : Graph.t) : gamma =
   let seeds =
     match Graph.find graph Graph.Root_f with Some id -> [ id ] | None -> []
   in
-  reach ?context_sensitive graph ~seeds
+  reach ?context_sensitive ?budget graph ~seeds
+
+(** The everything-⊥ Γ — the sound fallback when resolution itself faults or
+    runs out of budget: treating every node as possibly-undefined can only
+    add instrumentation, never remove a check. *)
+let all_bot (graph : Graph.t) : gamma =
+  { undef = Array.make (Graph.nnodes graph) true; states_explored = 0 }
 
 (** Count of ⊥ nodes, for precision ablations. *)
 let undef_count (g : gamma) =

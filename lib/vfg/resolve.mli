@@ -15,9 +15,15 @@ val is_undef : gamma -> int -> bool
     matching — the engine behind {!resolve} and other forward-flow clients
     of the VFG (e.g. {!Client_taint}). [undef] reads as "reached from a
     seed along a realizable path". *)
-val reach : ?context_sensitive:bool -> Graph.t -> seeds:int list -> gamma
+val reach :
+  ?context_sensitive:bool -> ?budget:Diag.Budget.t -> Graph.t ->
+  seeds:int list -> gamma
 
-val resolve : ?context_sensitive:bool -> Graph.t -> gamma
+val resolve : ?context_sensitive:bool -> ?budget:Diag.Budget.t -> Graph.t -> gamma
+
+(** The everything-⊥ Γ — the sound fallback when resolution faults or runs
+    out of budget: more ⊥ only ever adds instrumentation. *)
+val all_bot : Graph.t -> gamma
 
 (** Count of ⊥ nodes, for precision ablations. *)
 val undef_count : gamma -> int

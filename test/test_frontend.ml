@@ -27,26 +27,47 @@ let lexer_tests =
         check_bool "c" true (toks "1 // two three\n4" = [ T.INT 1; T.INT 4; T.EOF ]));
     tc "block comments" (fun () ->
         check_bool "c" true (toks "1 /* 2\n 3 */ 4" = [ T.INT 1; T.INT 4; T.EOF ]));
-    tc "unterminated comment fails" (fun () ->
-        Alcotest.check_raises "raises"
-          (Tinyc.Lexer.Error "line 1, col 10: unterminated comment") (fun () ->
-            ignore (toks "1 /* oops")));
+    tc "unterminated comment fails with located diagnostic" (fun () ->
+        match (try ignore (toks "1 /* oops"); None with Diag.Error d -> Some d) with
+        | None -> Alcotest.fail "expected a diagnostic"
+        | Some d ->
+          check_bool "phase" true (d.Diag.phase = Diag.Lex);
+          check_str "message" "unterminated comment" d.Diag.message;
+          (match d.Diag.loc with
+          | Some { Diag.line; col } ->
+            check_int "line" 1 line;
+            check_int "col" 10 col
+          | None -> Alcotest.fail "diagnostic has no location"));
     tc "positions recorded" (fun () ->
         let s = List.nth (Tinyc.Lexer.tokenize "a\n  b") 1 in
         check_int "line" 2 s.line;
         check_int "col" 3 s.col);
     tc "unexpected character fails" (fun () ->
         check_bool "raises" true
-          (try ignore (toks "a $ b"); false with Tinyc.Lexer.Error _ -> true));
+          (try ignore (toks "a $ b"); false with Diag.Error _ -> true));
   ]
 
 let parses src =
   try ignore (Tinyc.Parser.parse_program src); true
-  with Tinyc.Parser.Error _ | Tinyc.Lexer.Error _ -> false
+  with Diag.Error _ -> false
 
 let parser_tests =
   [
     tc "minimal program" (fun () -> check_bool "p" true (parses "int main() { return 0; }"));
+    tc "syntax error carries the offending location" (fun () ->
+        let src = "int main() {\n  int x = ;\n  return 0;\n}" in
+        match
+          (try ignore (Tinyc.Parser.parse_program src); None
+           with Diag.Error d -> Some d)
+        with
+        | None -> Alcotest.fail "expected a diagnostic"
+        | Some d -> (
+          check_bool "phase" true (d.Diag.phase = Diag.Parse);
+          match d.Diag.loc with
+          | Some { Diag.line; col } ->
+            check_int "line" 2 line;
+            check_int "col" 11 col
+          | None -> Alcotest.fail "diagnostic has no location"));
     tc "precedence: * over +" (fun () ->
         match Tinyc.Parser.parse_program "int main() { return 1 + 2 * 3; }" with
         | [ Tinyc.Ast.Ifunc f ] -> (
@@ -186,15 +207,15 @@ let lower_tests =
     tc "unknown variable fails" (fun () ->
         check_bool "raises" true
           (try ignore (compile "int main() { return nope; }"); false
-           with Tinyc.Lower.Error _ -> true));
+           with Diag.Error _ -> true));
     tc "arity mismatch fails" (fun () ->
         check_bool "raises" true
           (try ignore (compile "int f(int a) { return a; } int main() { return f(1, 2); }"); false
-           with Tinyc.Lower.Error _ -> true));
+           with Diag.Error _ -> true));
     tc "break outside loop fails" (fun () ->
         check_bool "raises" true
           (try ignore (compile "int main() { break; return 0; }"); false
-           with Tinyc.Lower.Error _ -> true));
+           with Diag.Error _ -> true));
     tc "non-short-circuit logical operators" (fun () ->
         check_ints "out" [ 1; 0; 1 ]
           (outputs

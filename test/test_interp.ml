@@ -61,7 +61,8 @@ let semantics_tests =
                   ~limits:{ Runtime.Interp.default_limits with max_steps = 1000 }
                   (Runtime.Interp.compile prog (Instr.Item.empty_plan prog)));
              false
-           with Runtime.Interp.Runtime_error _ -> true));
+           with Runtime.Interp.Resource_exhausted { what = "steps"; limit = 1000 } ->
+             true));
   ]
 
 let ground_truth_tests =

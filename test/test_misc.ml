@@ -42,7 +42,8 @@ let limit_tests =
                   ~limits:{ Runtime.Interp.default_limits with max_depth = 64 }
                   (Runtime.Interp.compile p (Instr.Item.empty_plan p)));
              false
-           with Runtime.Interp.Runtime_error _ -> true));
+           with Runtime.Interp.Resource_exhausted { what = "call depth"; limit = 64 } ->
+             true));
     tc "object count limit" (fun () ->
         let p = front
             "int main() { int i; int s = 0;\n\
@@ -55,7 +56,8 @@ let limit_tests =
                   ~limits:{ Runtime.Interp.default_limits with max_objects = 100 }
                   (Runtime.Interp.compile p (Instr.Item.empty_plan p)));
              false
-           with Runtime.Interp.Runtime_error _ -> true));
+           with Runtime.Interp.Resource_exhausted { what = "objects"; limit = 100 } ->
+             true));
     tc "undefined allocation sizes trap" (fun () ->
         let p = front "int main() { int n; int *q = (int*)malloc(n); return 0; }" in
         check_bool "raises" true

@@ -14,4 +14,5 @@ let () =
     (Test_frontend.suites @ Test_ir.suites @ Test_analysis.suites
     @ Test_optim.suites @ Test_memssa.suites @ Test_vfg.suites
     @ Test_instr.suites @ Test_interp.suites @ Test_workloads.suites
-    @ Test_opts.suites @ Test_misc.suites @ Test_properties.suites)
+    @ Test_opts.suites @ Test_misc.suites @ Test_properties.suites
+    @ Test_faults.suites)
