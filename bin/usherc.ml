@@ -4,17 +4,30 @@
      usherc run FILE       execute under a chosen instrumentation variant
      usherc gen NAME       print a SPEC2000-analog TinyC source
      usherc bench NAME     one benchmark end to end (all variants)
+     usherc audit          differential soundness audit over the corpus
 
-   Programs are TinyC sources (see README). *)
+   Programs are TinyC sources (see README).
+
+   Exit codes (run, bench, audit):
+     0  clean
+     3  a use of an undefined value was detected
+     4  soundness divergence: a ground-truth undefined use escaped the
+        instrumentation (or, for audit, any captured soundness incident) *)
 
 open Cmdliner
 
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match open_in_bin path with
+  | exception Sys_error msg -> Diag.error Diag.Driver "cannot read file: %s" msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with
+        | Sys_error msg -> Diag.error Diag.Driver "cannot read %s: %s" path msg
+        | End_of_file ->
+          Diag.error Diag.Driver "cannot read %s: truncated read" path)
 
 let level_conv =
   let parse = function
@@ -82,19 +95,31 @@ let inject_arg =
                  callgraph, modref, memssa, vfg_build, resolve, opt2, \
                  instrument.")
 
-let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject =
-  {
-    Usher.Config.default_knobs with
-    budget_ms;
-    solver_fuel;
-    vfg_node_cap = vfg_cap;
-    resolve_fuel;
-    inject;
-  }
+let quarantine_arg =
+  Arg.(value & opt (some string) None
+       & info [ "quarantine" ] ~docv:"DIR"
+           ~doc:"Load the audit quarantine list from $(docv) \
+                 (quarantine.list, as written by usherc audit); every \
+                 listed function is forced onto full instrumentation.")
+
+let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject quarantine =
+  let knobs =
+    {
+      Usher.Config.default_knobs with
+      budget_ms;
+      solver_fuel;
+      vfg_node_cap = vfg_cap;
+      resolve_fuel;
+      inject;
+    }
+  in
+  match quarantine with
+  | None -> knobs
+  | Some dir -> Audit.Quarantine.apply_dir dir knobs
 
 let knobs_term =
   Term.(const knobs_of $ budget_ms_arg $ solver_fuel_arg $ vfg_cap_arg
-        $ resolve_fuel_arg $ inject_arg)
+        $ resolve_fuel_arg $ inject_arg $ quarantine_arg)
 
 (* Report what the resilience ladder did, if anything. *)
 let print_degradation (a : Usher.Pipeline.analysis)
@@ -180,7 +205,8 @@ let analyze_cmd =
         g.needed_nodes g.opt1_simplified
     | None -> ());
     Printf.printf "Opt II redirected %d nodes\n" a.opt2.redirected;
-    print_degradation a front_events
+    print_degradation a front_events;
+    0
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Statically analyze a TinyC program")
     Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg $ knobs_term)
@@ -198,17 +224,37 @@ let run_cmd =
     let o = Runtime.Interp.run_plan prog plan in
     List.iter (fun v -> Printf.printf "output: %d\n" v) o.outputs;
     Printf.printf "exit: %d\n" o.exit_value;
-    Hashtbl.iter
-      (fun l () ->
+    List.iter
+      (fun l ->
         Printf.printf "WARNING: use of undefined value at statement l%d\n" l)
-      o.detections;
+      (Runtime.Interp.detection_labels o);
     Printf.printf "slowdown vs native: %.1f%%  (%d shadow ops over %d base ops)\n"
       (Runtime.Costmodel.slowdown_pct ~native:native.counters
          ~instrumented:o.counters ())
       (Runtime.Counters.shadow_ops o.counters)
-      (Runtime.Counters.base_ops o.counters)
+      (Runtime.Counters.base_ops o.counters);
+    (* Exit code: any ground-truth undefined use (from the native run) the
+       instrumented run fails to cover is a soundness divergence. *)
+    let escaped =
+      List.filter
+        (fun l -> not (Usher.Experiment.covered prog o.detections l))
+        (Runtime.Interp.gt_use_labels native)
+    in
+    List.iter
+      (fun l ->
+        Printf.printf
+          "SOUNDNESS: undefined use at statement l%d escaped %s instrumentation\n"
+          l (Usher.Config.variant_name variant))
+      escaped;
+    if escaped <> [] then 4
+    else if Hashtbl.length o.detections > 0 then 3
+    else 0
   in
-  Cmd.v (Cmd.info "run" ~doc:"Execute a TinyC program under instrumentation")
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a TinyC program under instrumentation. Exits 0 when \
+             clean, 3 when a use of an undefined value is detected, 4 when \
+             a ground-truth undefined use escapes the instrumentation.")
     Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term)
 
 (* ---- gen ---- *)
@@ -216,7 +262,8 @@ let run_cmd =
 let gen_cmd =
   let run name scale =
     let p = Workloads.Spec2000.find name in
-    print_string (Workloads.Spec2000.source ~scale p)
+    print_string (Workloads.Spec2000.source ~scale p);
+    0
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -233,17 +280,27 @@ let bench_cmd =
   let run name scale level knobs =
     let p = Workloads.Spec2000.find name in
     let src = Workloads.Spec2000.source ~scale p in
-    let e = Usher.Experiment.run ~name ~level ~knobs src in
-    Printf.printf "%s at %s (scale %d):\n" name
-      (Optim.Pipeline.level_to_string level) scale;
-    List.iter
-      (fun (r : Usher.Experiment.variant_result) ->
-        Printf.printf "  %-12s slowdown %6.1f%%  props %6d  checks %5d  detections %d\n"
-          (Usher.Config.variant_name r.variant)
-          r.slowdown_pct r.static_stats.propagations r.static_stats.checks
-          (List.length r.detections))
-      e.results;
-    print_degradation e.analysis []
+    match Usher.Experiment.run ~name ~level ~knobs src with
+    | exception Usher.Experiment.Unsound msg ->
+      Printf.printf "SOUNDNESS: %s\n" msg;
+      4
+    | e ->
+      Printf.printf "%s at %s (scale %d):\n" name
+        (Optim.Pipeline.level_to_string level) scale;
+      List.iter
+        (fun (r : Usher.Experiment.variant_result) ->
+          Printf.printf "  %-12s slowdown %6.1f%%  props %6d  checks %5d  detections %d\n"
+            (Usher.Config.variant_name r.variant)
+            r.slowdown_pct r.static_stats.propagations r.static_stats.checks
+            (List.length r.detections))
+        e.results;
+      print_degradation e.analysis [];
+      if
+        List.exists
+          (fun (r : Usher.Experiment.variant_result) -> r.detections <> [])
+          e.results
+      then 3
+      else 0
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
@@ -251,19 +308,117 @@ let bench_cmd =
   let scale_arg =
     Arg.(value & opt int 30 & info [ "scale" ] ~doc:"Input scale (100 = nominal).")
   in
-  Cmd.v (Cmd.info "bench" ~doc:"Run one SPEC2000 analog end to end")
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run one SPEC2000 analog end to end. Exits 0 when clean, 3 when \
+             undefined uses are detected, 4 on a soundness divergence.")
     Term.(const run $ name_arg $ scale_arg $ level_arg $ knobs_term)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let run corpus scale mutants seed budget_ms dir hole no_reduce quiet level =
+    let profiles =
+      match corpus with
+      | [] -> Workloads.Spec2000.all
+      | names ->
+        List.map
+          (fun n ->
+            try Workloads.Spec2000.find n
+            with Not_found ->
+              Diag.error Diag.Driver "unknown benchmark %s" n)
+          names
+    in
+    let cfg =
+      {
+        Audit.Loop.default_config with
+        profiles;
+        scale;
+        mutants;
+        seed;
+        budget_ms;
+        dir;
+        hole;
+        minimize = not no_reduce;
+        level;
+        log = (if quiet then ignore else fun s -> Printf.printf "%s\n%!" s);
+      }
+    in
+    let s = Audit.Loop.run cfg in
+    Printf.printf
+      "audit: %d program(s), %d mutant(s), %d skipped%s\n"
+      s.programs s.mutants_run s.skipped
+      (if s.out_of_time then " (budget expired)" else "");
+    Printf.printf
+      "incidents: %d soundness, %d precision  quarantined: %s  healed: %d\n"
+      s.soundness_incidents s.precision_incidents
+      (match s.quarantined with [] -> "none" | q -> String.concat ", " q)
+      s.healed;
+    List.iter
+      (fun (i : Audit.Incident.t) ->
+        Printf.printf "  %s %s (%s)\n"
+          (Audit.Incident.kind_name i.kind) i.id i.variant)
+      s.incidents;
+    if s.soundness_incidents > 0 then 4 else 0
+  in
+  let corpus_arg =
+    Arg.(value & opt_all string []
+         & info [ "corpus" ] ~docv:"BENCHMARK"
+             ~doc:"Audit only this benchmark profile (repeatable); default \
+                   is the whole SPEC2000-analog corpus.")
+  in
+  let scale_arg =
+    Arg.(value & opt int 5
+         & info [ "scale" ] ~doc:"Input scale for generated programs.")
+  in
+  let mutants_arg =
+    Arg.(value & opt int 3
+         & info [ "mutants" ] ~doc:"AST mutants audited per base program.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fuzzing seed (determinism).")
+  in
+  let dir_arg =
+    Arg.(value & opt string ".usher-audit"
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Incident artifact + quarantine directory.")
+  in
+  let hole_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject-hole" ] ~docv:"PREFIX"
+             ~doc:"Test hook: delete every check guided plans place in \
+                   functions whose name starts with $(docv) — a seeded \
+                   soundness bug the sentinel must catch.")
+  in
+  let no_reduce_arg =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Skip ddmin reduction of soundness incidents.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the final summary.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Differential soundness audit: run workload-generated programs \
+             and AST mutants through every variant, cross-check detections \
+             against interpreter ground truth, capture + reduce incidents, \
+             and quarantine implicated functions. Exits 4 if any soundness \
+             incident was captured, 0 otherwise.")
+    Term.(const run $ corpus_arg $ scale_arg $ mutants_arg $ seed_arg
+          $ budget_ms_arg $ dir_arg $ hole_arg $ no_reduce_arg $ quiet_arg
+          $ level_arg)
 
 let main =
   Cmd.group
     (Cmd.info "usherc" ~version:"1.0.0"
        ~doc:"Usher: static value-flow analysis accelerating undefined-value detection")
-    [ analyze_cmd; run_cmd; gen_cmd; bench_cmd ]
+    [ analyze_cmd; run_cmd; gen_cmd; bench_cmd; audit_cmd ]
 
 (* Structured diagnostics (bad source, interpreter traps) exit cleanly
    with the located message instead of a backtrace. *)
 let () =
-  match Cmd.eval ~catch:false main with
+  match Cmd.eval' ~catch:false main with
   | code -> exit code
   | exception Diag.Error d ->
     prerr_endline ("usherc: " ^ Diag.to_string d);

@@ -1,0 +1,293 @@
+(* The audit loop: the sentinel's outer driver.
+
+   Feed workload-generated TinyC programs — and AST-level mutants of them
+   — through the differential oracle; for every divergence: capture an
+   incident artifact, ddmin-reduce soundness misses to a small repro,
+   quarantine the implicated functions, and verify that the quarantined
+   re-run covers the missed use again (the self-healing property: a
+   soundness bug costs precision until fixed, never correctness).
+
+   The loop is time-boxed ([budget_ms]) so CI can run it as a smoke test,
+   and fully deterministic in [seed] so any run replays. *)
+
+type config = {
+  profiles : Workloads.Profile.t list;  (* corpus generators *)
+  scale : int;                          (* generation scale (100 = nominal) *)
+  mutants : int;                        (* mutants per base program *)
+  seed : int;                           (* fuzzing seed *)
+  budget_ms : int option;               (* wall-clock box for the whole loop *)
+  dir : string;                         (* incident + quarantine directory *)
+  hole : string option;                 (* test hook: seeded plan-hole prefix *)
+  minimize : bool;                      (* ddmin-reduce soundness misses *)
+  level : Optim.Pipeline.level;
+  limits : Runtime.Interp.limits;
+  knobs : Usher.Config.knobs;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    profiles = Workloads.Spec2000.all;
+    scale = 5;
+    mutants = 3;
+    seed = 1;
+    budget_ms = None;
+    dir = ".usher-audit";
+    hole = None;
+    minimize = true;
+    level = Optim.Pipeline.O0_IM;
+    limits =
+      { Runtime.Interp.max_steps = 2_000_000; max_objects = 100_000;
+        max_depth = 1_000 };
+    knobs = Usher.Config.default_knobs;
+    log = ignore;
+  }
+
+type summary = {
+  programs : int;             (* base programs audited *)
+  mutants_run : int;          (* mutants audited *)
+  skipped : int;              (* subjects whose native run trapped *)
+  incidents : Incident.t list;        (* newly captured, in order *)
+  soundness_incidents : int;  (* misses + behavior divergences *)
+  precision_incidents : int;
+  quarantined : string list;  (* functions newly quarantined *)
+  healed : int;               (* misses covered again under quarantine *)
+  out_of_time : bool;         (* the budget expired before the corpus ended *)
+}
+
+let knobs_summary (k : Usher.Config.knobs) : string =
+  Printf.sprintf
+    "semi_strong=%b context=%b field=%b cloning=%b quarantined=%d"
+    k.Usher.Config.semi_strong k.context_sensitive k.field_sensitive
+    k.heap_cloning
+    (List.length k.quarantine)
+
+(* Compile errors and native-run traps disqualify a subject (mutants
+   routinely produce wild pointers); anything else propagates. *)
+let oracle_check cfg ~knobs ?variants (src : string) :
+    (Oracle.report, string) result =
+  match
+    Oracle.check ~level:cfg.level ~knobs ~limits:cfg.limits ?variants
+      ?hole:cfg.hole src
+  with
+  | r -> Ok r
+  | exception Diag.Error d -> Error (Diag.to_string d)
+  | exception Runtime.Interp.Runtime_error m -> Error ("native run: " ^ m)
+  | exception Runtime.Interp.Resource_exhausted { what; limit } ->
+    Error (Printf.sprintf "native run: %s limit %d" what limit)
+
+(* Does [src] still witness a miss for [variant] (same implicated function
+   when known)? The reduction predicate. *)
+let still_misses cfg ~knobs ~(variant : Usher.Config.variant)
+    ~(func : string option) (src : string) : bool =
+  match oracle_check cfg ~knobs ~variants:[ variant ] src with
+  | Error _ -> false
+  | Ok r ->
+    List.exists
+      (fun (m : Oracle.miss) ->
+        m.mvariant = variant
+        && (func = None || m.mfunc = func))
+      (Oracle.soundness_misses r)
+
+(* ddmin the witnessing program down to a small repro. *)
+let minimize_miss cfg ~knobs ~variant ~func (src : string) : string option =
+  match Tinyc.Parser.parse_program src with
+  | exception Diag.Error _ -> None
+  | ast ->
+    let pred p =
+      match Tinyc.Pretty.program_to_string p with
+      | s -> still_misses cfg ~knobs ~variant ~func s
+      | exception Invalid_argument _ -> false
+    in
+    if not (pred ast) then None
+    else begin
+      let reduced = Reduce.program ~pred ast in
+      Some (Tinyc.Pretty.program_to_string reduced)
+    end
+
+(* Audit one subject; returns (incidents, quarantine entries, healed). *)
+let audit_subject cfg ~knobs ~(seed : int) ~(mutation : string) (src : string) :
+    (Incident.t list * Quarantine.entry list * int, string) result =
+  match oracle_check cfg ~knobs src with
+  | Error e -> Error e
+  | Ok report ->
+    let incidents = ref [] and entries = ref [] and healed = ref 0 in
+    let knob_str = knobs_summary knobs in
+    let capture ~kind ~variant ~functions ~labels ~reduced =
+      let inc =
+        Incident.make ~kind ~variant ~seed ~mutation ~functions ~labels
+          ~knobs:knob_str ~source:src ?reduced ()
+      in
+      ignore (Incident.save ~dir:cfg.dir inc);
+      incidents := inc :: !incidents;
+      inc
+    in
+    (* Soundness misses: reduce, capture, quarantine, verify healing. *)
+    let misses = Oracle.soundness_misses report in
+    (* One incident per (variant, function): a buggy plan usually misses a
+       cluster of labels in one function. *)
+    let groups = Hashtbl.create 4 in
+    List.iter
+      (fun (m : Oracle.miss) ->
+        let key = (m.mvariant, m.mfunc) in
+        let prev = try Hashtbl.find groups key with Not_found -> [] in
+        Hashtbl.replace groups key (m :: prev))
+      misses;
+    (* Several variants usually share one buggy plan — cache the reduced
+       repro per implicated function and revalidate it per variant (one
+       single-variant oracle run) instead of re-reducing from scratch. *)
+    let reduction_cache : (string option, string) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let reduce_for ~variant ~func =
+      if not cfg.minimize then None
+      else
+        match Hashtbl.find_opt reduction_cache func with
+        | Some r when still_misses cfg ~knobs ~variant ~func r -> Some r
+        | _ -> (
+          match minimize_miss cfg ~knobs ~variant ~func src with
+          | Some r ->
+            Hashtbl.replace reduction_cache func r;
+            Some r
+          | None -> None)
+    in
+    Hashtbl.iter
+      (fun (variant, func) (ms : Oracle.miss list) ->
+        let labels = List.map (fun m -> m.Oracle.mlabel) ms |> List.sort compare in
+        let reduced = reduce_for ~variant ~func in
+        let functions = match func with Some f -> [ f ] | None -> [] in
+        let inc =
+          capture ~kind:Incident.Soundness_miss
+            ~variant:(Usher.Config.variant_name variant) ~functions ~labels
+            ~reduced
+        in
+        cfg.log
+          (Printf.sprintf "incident %s: %s misses %d use(s)%s%s" inc.id
+             (Usher.Config.variant_name variant) (List.length labels)
+             (match func with Some f -> " in " ^ f | None -> "")
+             (match reduced with
+             | Some r ->
+               Printf.sprintf " (reduced %d -> %d bytes)"
+                 (String.length src) (String.length r)
+             | None -> ""));
+        (* Quarantine the implicated function and verify the re-run under
+           quarantine covers the use again. *)
+        match func with
+        | None -> ()
+        | Some f ->
+          entries := { Quarantine.qfunc = f; incident = inc.id } :: !entries;
+          let knobs' =
+            Quarantine.apply [ { Quarantine.qfunc = f; incident = inc.id } ]
+              knobs
+          in
+          let subject =
+            match reduced with Some r -> r | None -> src
+          in
+          if not (still_misses cfg ~knobs:knobs' ~variant ~func:(Some f) subject)
+          then begin
+            incr healed;
+            cfg.log
+              (Printf.sprintf
+                 "incident %s: quarantining %s heals the miss (full \
+                  instrumentation covers the use)"
+                 inc.id f)
+          end
+          else
+            cfg.log
+              (Printf.sprintf
+                 "incident %s: quarantining %s does NOT heal the miss — \
+                 runtime-level bug?" inc.id f))
+      groups;
+    (* Behavior divergences: capture (no function attribution). *)
+    List.iter
+      (function
+        | Oracle.Behavior { bvariant; _ } ->
+          ignore
+            (capture ~kind:Incident.Behavior_divergence
+               ~variant:(Usher.Config.variant_name bvariant)
+               ~functions:[] ~labels:[] ~reduced:None)
+        | Oracle.Precision { pvariant; _ } ->
+          ignore
+            (capture ~kind:Incident.Precision_regression
+               ~variant:(Usher.Config.variant_name pvariant)
+               ~functions:[] ~labels:[] ~reduced:None)
+        | Oracle.Miss _ -> ())
+      report.divergences;
+    Ok (List.rev !incidents, List.rev !entries, !healed)
+
+let run (cfg : config) : summary =
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) cfg.budget_ms
+  in
+  let out_of_time () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let programs = ref 0 and mutants_run = ref 0 and skipped = ref 0 in
+  let incidents = ref [] and quarantined = ref [] and healed = ref 0 in
+  let stopped = ref false in
+  (* Quarantine entries accumulated this run apply to later subjects too. *)
+  let knobs = ref (Quarantine.apply_dir cfg.dir cfg.knobs) in
+  let audit ~seed ~mutation src counter =
+    match audit_subject cfg ~knobs:!knobs ~seed ~mutation src with
+    | Error e ->
+      incr skipped;
+      cfg.log (Printf.sprintf "skipped (%s)" e)
+    | Ok (incs, entries, h) ->
+      incr counter;
+      incidents := !incidents @ incs;
+      healed := !healed + h;
+      let fresh = Quarantine.add cfg.dir entries in
+      List.iter
+        (fun (e : Quarantine.entry) ->
+          quarantined := !quarantined @ [ e.qfunc ])
+        fresh;
+      knobs := Quarantine.apply fresh !knobs
+  in
+  List.iter
+    (fun (prof : Workloads.Profile.t) ->
+      if !stopped || out_of_time () then stopped := true
+      else begin
+        cfg.log (Printf.sprintf "auditing %s (scale %d)" prof.pname cfg.scale);
+        let base_src = Workloads.Gen.generate ~scale:cfg.scale prof in
+        audit ~seed:prof.seed ~mutation:"" base_src programs;
+        (* Mutants: parse the base once, then mutate deterministically. *)
+        match Tinyc.Parser.parse_program base_src with
+        | exception Diag.Error _ -> ()
+        | ast ->
+          let rng =
+            Workloads.Rng.create (cfg.seed + (1000 * prof.seed))
+          in
+          for m = 1 to cfg.mutants do
+            if (not !stopped) && not (out_of_time ()) then begin
+              match Mutate.random rng ast with
+              | None -> ()
+              | Some (ast', mut, descr) ->
+                let msrc = Tinyc.Pretty.program_to_string ast' in
+                cfg.log
+                  (Printf.sprintf "  mutant %d: %s (%s)" m
+                     (Mutate.to_string mut) descr);
+                audit ~seed:(cfg.seed + m) ~mutation:(Mutate.to_string mut)
+                  msrc mutants_run
+            end
+            else stopped := true
+          done
+      end)
+    cfg.profiles;
+  let n_sound =
+    List.length
+      (List.filter
+         (fun (i : Incident.t) -> i.kind <> Incident.Precision_regression)
+         !incidents)
+  in
+  {
+    programs = !programs;
+    mutants_run = !mutants_run;
+    skipped = !skipped;
+    incidents = !incidents;
+    soundness_incidents = n_sound;
+    precision_incidents = List.length !incidents - n_sound;
+    quarantined = !quarantined;
+    healed = !healed;
+    out_of_time = !stopped;
+  }

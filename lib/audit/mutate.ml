@@ -1,0 +1,134 @@
+(* AST-level mutators over TinyC programs (UBfuzz-style differential
+   fuzzing fodder).
+
+   Each mutator makes a small semantics-changing edit that is *valid
+   TinyC* but perturbs exactly the property the analysis reasons about —
+   definedness flow:
+
+   - [Drop_init]  removes the initializer of a scalar declaration, turning
+     a defined local into a (potentially) undefined one;
+   - [Swap_branches] exchanges the arms of an [if], rerouting which side
+     of a conditional initialization actually executes;
+   - [Reorder_stores] swaps two adjacent assignment statements, reordering
+     a def against a later use or another def.
+
+   Mutants can of course trap at run time (a dropped pointer init turns a
+   deref into a wild access); the audit loop discards those. Mutation
+   sites are indexed deterministically in program preorder, so a (kind,
+   site) pair — and therefore a whole fuzzing run — replays exactly from
+   its seed. *)
+
+open Tinyc.Ast
+
+type kind = Drop_init | Swap_branches | Reorder_stores
+
+let all_kinds = [ Drop_init; Swap_branches; Reorder_stores ]
+
+let kind_name = function
+  | Drop_init -> "drop-init"
+  | Swap_branches -> "swap-branches"
+  | Reorder_stores -> "reorder-stores"
+
+type t = { mkind : kind; site : int }
+
+let to_string (m : t) = Printf.sprintf "%s@%d" (kind_name m.mkind) m.site
+
+(* Traversal state: [remaining] counts down candidate sites until the one
+   to rewrite; negative means "count only". [total] counts every candidate
+   seen; [hit] records the human description of the claimed site. *)
+type st = {
+  mutable remaining : int;
+  mutable total : int;
+  mutable hit : string option;
+}
+
+let claim (s : st) (descr : unit -> string) : bool =
+  s.total <- s.total + 1;
+  if s.hit <> None || s.remaining < 0 then false
+  else if s.remaining = 0 then begin
+    s.hit <- Some (descr ());
+    s.remaining <- -1;
+    true
+  end
+  else begin
+    s.remaining <- s.remaining - 1;
+    false
+  end
+
+let rec xstmts (s : st) (kind : kind) (ss : stmt list) : stmt list =
+  let ss =
+    match kind with
+    | Reorder_stores ->
+      let rec pairs = function
+        | (Sassign _ as a) :: (Sassign _ as b) :: rest ->
+          if claim s (fun () -> "swap adjacent stores") then b :: a :: rest
+          else a :: pairs (b :: rest)
+        | x :: rest -> x :: pairs rest
+        | [] -> []
+      in
+      pairs ss
+    | Drop_init | Swap_branches -> ss
+  in
+  List.map (xstmt s kind) ss
+
+and xstmt (s : st) (kind : kind) (stmt : stmt) : stmt =
+  let stmt =
+    match (kind, stmt) with
+    | Drop_init, Sdecl (Tint, x, Some _)
+      when claim s (fun () -> "drop init of " ^ x) ->
+      Sdecl (Tint, x, None)
+    | Swap_branches, Sif (c, a, b)
+      when claim s (fun () -> "swap if branches") ->
+      Sif (c, b, a)
+    | _ -> stmt
+  in
+  match stmt with
+  | Sif (c, a, b) -> Sif (c, xstmts s kind a, xstmts s kind b)
+  | Swhile (c, b) -> Swhile (c, xstmts s kind b)
+  | Sfor (i, c, u, b) -> Sfor (i, c, u, xstmts s kind b)
+  | Sblock b -> Sblock (xstmts s kind b)
+  | other -> other
+
+let xprogram (s : st) (kind : kind) (p : program) : program =
+  List.map
+    (function
+      | Ifunc f -> Ifunc { f with fbody = xstmts s kind f.fbody }
+      | item -> item)
+    p
+
+(** Number of candidate sites for [kind] in [p]. *)
+let count (kind : kind) (p : program) : int =
+  let s = { remaining = -1; total = 0; hit = None } in
+  ignore (xprogram s kind p);
+  s.total
+
+(** Apply the [site]-th candidate of [m.mkind] (preorder). [None] when the
+    site index is out of range. Also returns a human description. *)
+let apply (m : t) (p : program) : (program * string) option =
+  let s = { remaining = m.site; total = 0; hit = None } in
+  let p' = xprogram s m.mkind p in
+  match s.hit with Some d -> Some (p', d) | None -> None
+
+(** Draw one applicable mutation uniformly at random over all (kind, site)
+    candidates. [None] when the program has no candidate at all. *)
+let random (rng : Workloads.Rng.t) (p : program) :
+    (program * t * string) option =
+  let counts = List.map (fun k -> (k, count k p)) all_kinds in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  if total = 0 then None
+  else begin
+    let pick = ref (Workloads.Rng.int rng total) in
+    let chosen = ref None in
+    List.iter
+      (fun (k, n) ->
+        if !chosen = None then
+          if !pick < n then chosen := Some { mkind = k; site = !pick }
+          else pick := !pick - n)
+      counts;
+    match !chosen with
+    | None -> None
+    | Some m -> (
+      match apply m p with
+      | Some (p', descr) -> Some (p', m, descr)
+      | None -> None)
+  end

@@ -1,0 +1,33 @@
+(** AST-level mutators over TinyC programs: small semantics-changing edits
+    that perturb definedness flow (the property the analysis reasons
+    about), used by the audit loop to fuzz the soundness claim. Mutation
+    sites are indexed deterministically in program preorder, so a fuzzing
+    run replays exactly from its seed. *)
+
+type kind =
+  | Drop_init       (** remove a scalar declaration's initializer *)
+  | Swap_branches   (** exchange the arms of an [if] *)
+  | Reorder_stores  (** swap two adjacent assignment statements *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+(** A concrete mutation: the [site]-th candidate (program preorder) of a
+    mutator kind. *)
+type t = { mkind : kind; site : int }
+
+val to_string : t -> string
+
+(** Number of candidate sites for [kind]. *)
+val count : kind -> Tinyc.Ast.program -> int
+
+(** Apply a mutation; [None] when the site index is out of range. Also
+    returns a human-readable description of the edit. *)
+val apply : t -> Tinyc.Ast.program -> (Tinyc.Ast.program * string) option
+
+(** Draw one applicable mutation uniformly over all (kind, site) pairs.
+    [None] when the program has no candidates. *)
+val random :
+  Workloads.Rng.t ->
+  Tinyc.Ast.program ->
+  (Tinyc.Ast.program * t * string) option

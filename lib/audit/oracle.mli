@@ -1,0 +1,68 @@
+(** Differential soundness oracle: run every instrumentation variant on
+    one program and cross-check the interpreter's ground-truth undefined
+    uses against each variant's detections (with the paper's dominance
+    rule), the MSan baseline, and the Opt I/II static expectations. *)
+
+type miss = {
+  mvariant : Usher.Config.variant;
+  mlabel : Ir.Types.label;
+  mfunc : string option;   (** function owning the missed label *)
+  baseline_covers : bool;  (** does the MSan run cover this use? *)
+}
+
+type divergence =
+  | Miss of miss
+      (** soundness miss: a ground-truth use the variant does not cover *)
+  | Behavior of {
+      bvariant : Usher.Config.variant;
+      expected : int list;
+      got : int list;
+    }  (** instrumentation changed the program's observable outputs *)
+  | Precision of {
+      pvariant : Usher.Config.variant;
+      checks : int;
+      against : Usher.Config.variant;
+      against_checks : int;
+    }  (** static check count violates the paper's monotonicity chain *)
+
+type report = {
+  src : string;
+  prog : Ir.Prog.t;
+  analysis : Usher.Pipeline.analysis;
+  native : Runtime.Interp.outcome;
+  per_variant : (Usher.Config.variant * Runtime.Interp.outcome) list;
+  divergences : divergence list;
+}
+
+val divergence_to_string : divergence -> string
+val soundness_misses : report -> miss list
+
+(** Any [Miss] or [Behavior] divergence (the kinds that gate CI). *)
+val has_soundness_divergence : report -> bool
+
+(** Owner function of a statement label. *)
+val func_of_label : Ir.Prog.t -> Ir.Types.label -> string option
+
+(** Run the oracle on one program.
+
+    [variants] restricts which variants are run and compared (default:
+    all). Reduction predicates use this to re-check only the diverging
+    variant; the precision chain only compares pairs that are both
+    present, and [baseline_covers] is [false] when MSan is not run.
+
+    [hole] is the seeded-bug test hook: every Check item a {e guided} plan
+    placed in functions whose name starts with the prefix is deleted
+    before running — except in distrusted (quarantined) functions, whose
+    items come from the full overlay, so quarantining heals the hole.
+
+    @raise Diag.Error on uncompilable source.
+    @raise Runtime.Interp.Runtime_error
+    @raise Runtime.Interp.Resource_exhausted when the native run traps. *)
+val check :
+  ?level:Optim.Pipeline.level ->
+  ?knobs:Usher.Config.knobs ->
+  ?limits:Runtime.Interp.limits ->
+  ?variants:Usher.Config.variant list ->
+  ?hole:string ->
+  string ->
+  report

@@ -1,0 +1,24 @@
+(** The persistent distrust list: functions implicated in unresolved
+    soundness incidents. Loaded into [Config.knobs.quarantine], which
+    makes {!Usher.Pipeline.analyze} force full instrumentation for each
+    one — a detected soundness bug degrades precision, not correctness. *)
+
+type entry = { qfunc : string; incident : string }
+
+val list_file : string -> string
+
+(** Entries in a quarantine directory; missing file = empty. *)
+val load : string -> entry list
+
+(** Atomically (re)write the list. *)
+val save : string -> entry list -> unit
+
+(** Merge new entries (first incident per function wins); returns the
+    entries actually added. *)
+val add : string -> entry list -> entry list
+
+(** Knobs with the given entries appended to [knobs.quarantine]. *)
+val apply : entry list -> Usher.Config.knobs -> Usher.Config.knobs
+
+(** Knobs with the directory's current list applied. *)
+val apply_dir : string -> Usher.Config.knobs -> Usher.Config.knobs

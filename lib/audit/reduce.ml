@@ -1,0 +1,150 @@
+(* Delta-debugging reduction of divergence-witnessing TinyC programs.
+
+   [ddmin] is Zeller's minimizing delta debugging over a list: given a
+   predicate that holds on the whole list, find a subsequence on which it
+   still holds and from which no single chunk at the final granularity can
+   be removed. The predicate is treated as a black box (reduction
+   predicates here are "the program still compiles AND the oracle still
+   reports the divergence"), so the result is 1-minimal w.r.t. the chunks
+   tried, not globally minimal — exactly the classic algorithm.
+
+   [program] applies ddmin hierarchically to a TinyC AST: first over the
+   top-level item list (whole functions, globals, structs disappear in
+   chunks), then over every statement list, recursing into if/while/for
+   bodies, iterated to a fixed point. Each pass only ever *removes* nodes,
+   so the size strictly decreases across iterations and the fixed point
+   terminates. *)
+
+open Tinyc.Ast
+
+(* Split [items] into [n] contiguous chunks (the last chunks may be one
+   element shorter). *)
+let split_chunks (items : 'a list) (n : int) : 'a list list =
+  let len = List.length items in
+  let arr = Array.of_list items in
+  let chunks = ref [] in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    let size = (len / n) + if i < len mod n then 1 else 0 in
+    if size > 0 then
+      chunks := Array.to_list (Array.sub arr !start size) :: !chunks;
+    start := !start + size
+  done;
+  List.rev !chunks
+
+let ddmin (pred : 'a list -> bool) (items : 'a list) : 'a list =
+  let rec go items n =
+    let len = List.length items in
+    if len < 2 then items
+    else begin
+      let chunks = split_chunks items n in
+      (* Try each chunk alone: a drastic reduction. *)
+      match List.find_opt pred chunks with
+      | Some chunk -> go chunk 2
+      | None ->
+        (* Try each complement (all chunks but one). *)
+        let complements =
+          List.mapi
+            (fun i _ ->
+              List.concat
+                (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        (match List.find_opt pred complements with
+        | Some compl -> go compl (max (n - 1) 2)
+        | None ->
+          (* Refine granularity, or stop at single elements. *)
+          if n < len then go items (min (2 * n) len) else items)
+    end
+  in
+  if pred items then go items 2 else items
+
+(* ---- hierarchical AST reduction ---- *)
+
+let rec stmt_size (s : stmt) : int =
+  match s with
+  | Sif (_, a, b) -> 1 + stmts_size a + stmts_size b
+  | Swhile (_, b) | Sfor (_, _, _, b) | Sblock b -> 1 + stmts_size b
+  | _ -> 1
+
+and stmts_size ss = List.fold_left (fun acc s -> acc + stmt_size s) 0 ss
+
+(** Statement count of a program (declarations, fields and globals count
+    1 each) — the size metric reduction minimizes. *)
+let size (p : program) : int =
+  List.fold_left
+    (fun acc it ->
+      acc
+      + match it with
+        | Ifunc f -> 1 + stmts_size f.fbody
+        | Istruct _ | Iglobal _ -> 1)
+    0 p
+
+(* Rewrite the [i]-th element of a list. *)
+let set_nth (ss : 'a list) (i : int) (v : 'a) : 'a list =
+  List.mapi (fun j s -> if j = i then v else s) ss
+
+(* Reduce one statement list: ddmin the list itself, then recurse into
+   each surviving compound statement. [rebuild] embeds a candidate list
+   back into a whole program for the global predicate. Accepted
+   reductions are threaded sequentially — each child reduction validates
+   against the program as reduced so far — so "pred holds on the current
+   whole program" is an invariant and the combined result is valid. *)
+let rec reduce_stmts (pred : program -> bool) (rebuild : stmt list -> program)
+    (ss : stmt list) : stmt list =
+  let ss = ddmin (fun cand -> pred (rebuild cand)) ss in
+  let cur = ref ss in
+  let reduce_child i (child : stmt list) (wrap : stmt list -> stmt) =
+    let child' =
+      reduce_stmts pred (fun cand -> rebuild (set_nth !cur i (wrap cand))) child
+    in
+    cur := set_nth !cur i (wrap child');
+    child'
+  in
+  List.iteri
+    (fun i s ->
+      match s with
+      | Sif (c, a, b) ->
+        let a' = reduce_child i a (fun a' -> Sif (c, a', b)) in
+        ignore (reduce_child i b (fun b' -> Sif (c, a', b')))
+      | Swhile (c, b) ->
+        ignore (reduce_child i b (fun b' -> Swhile (c, b')))
+      | Sfor (init, c, u, b) ->
+        ignore (reduce_child i b (fun b' -> Sfor (init, c, u, b')))
+      | Sblock b -> ignore (reduce_child i b (fun b' -> Sblock b'))
+      | _ -> ())
+    ss;
+  !cur
+
+let reduce_once (pred : program -> bool) (p : program) : program =
+  (* Pass 1: whole top-level items. *)
+  let p = ddmin pred p in
+  (* Pass 2: statement lists of each surviving function, threading each
+     accepted reduction into the program the next one validates against. *)
+  let cur = ref p in
+  List.iteri
+    (fun i it ->
+      match it with
+      | Ifunc f ->
+        let body' =
+          reduce_stmts pred
+            (fun body -> set_nth !cur i (Ifunc { f with fbody = body }))
+            f.fbody
+        in
+        cur := set_nth !cur i (Ifunc { f with fbody = body' })
+      | _ -> ())
+    p;
+  !cur
+
+(** Minimize [p] while [pred] holds, to a fixed point. If [pred p] does
+    not hold, returns [p] unchanged. The result satisfies [pred] and
+    cannot be shrunk further by another [program] pass. *)
+let program ~(pred : program -> bool) (p : program) : program =
+  if not (pred p) then p
+  else begin
+    let rec fix p =
+      let p' = reduce_once pred p in
+      if size p' < size p then fix p' else p
+    in
+    fix p
+  end

@@ -1,0 +1,18 @@
+(** Delta-debugging reduction of divergence-witnessing TinyC programs. *)
+
+(** Zeller's minimizing delta debugging over a list. If [pred] holds on
+    the input, the result satisfies [pred] and no single chunk at the
+    final granularity can be removed from it; otherwise the input is
+    returned unchanged. [pred] is a black box and may be called many
+    times. *)
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+
+(** Statement count of a program — the size metric reduction minimizes. *)
+val size : Tinyc.Ast.program -> int
+
+(** Hierarchical ddmin over a TinyC AST (top-level items, then every
+    statement list, recursing into if/while/for bodies), iterated to a
+    fixed point. The result satisfies [pred] and a further pass cannot
+    shrink it. If [pred p] does not hold, [p] is returned unchanged. *)
+val program :
+  pred:(Tinyc.Ast.program -> bool) -> Tinyc.Ast.program -> Tinyc.Ast.program

@@ -33,6 +33,7 @@ type phase =
   | Opt2
   | Instrument
   | Interp
+  | Audit           (* the soundness sentinel (differential audit) *)
   | Driver
 
 type loc = { line : int; col : int }
@@ -63,6 +64,7 @@ let phase_name = function
   | Opt2 -> "opt2"
   | Instrument -> "instrument"
   | Interp -> "interp"
+  | Audit -> "audit"
   | Driver -> "driver"
 
 let to_string (d : t) =

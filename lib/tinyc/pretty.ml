@@ -1,0 +1,142 @@
+(* TinyC AST pretty-printer: renders an [Ast.program] back to concrete
+   syntax that [Parser.parse_program] accepts.
+
+   The printer is the bridge the soundness sentinel (lib/audit) needs to
+   mutate and delta-debug programs at the AST level and still drive them
+   through the unmodified front end. It is round-trip stable:
+   [parse (print ast)] is structurally equal to [ast] for every AST the
+   parser can produce. To that end expressions are fully parenthesized
+   (parentheses are transparent in the AST), negative integer literals —
+   which the expression grammar cannot produce — are rendered as
+   [(0 - n)], and compound-assignment sugar never appears (the parser
+   desugars it on the way in). *)
+
+open Ast
+
+(* [ty] as "base stars"; array types are handled at their declaration
+   sites, which is the only place the grammar allows them. *)
+let rec base_ty_to_string = function
+  | Tint -> "int"
+  | Tvoid -> "void"
+  | Tstruct s -> "struct " ^ s
+  | Tptr t -> base_ty_to_string t ^ "*"
+  | Tarr (_, t) -> base_ty_to_string t
+
+let binop_to_string = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Brem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Bshl -> "<<" | Bshr -> ">>"
+  | Blt -> "<" | Ble -> "<=" | Bgt -> ">" | Bge -> ">=" | Beq -> "==" | Bne -> "!="
+  | Bland -> "&&" | Blor -> "||"
+
+let unop_to_string = function Uneg -> "-" | Unot -> "~" | Ulnot -> "!"
+
+let rec expr_to_string (e : expr) : string =
+  match e with
+  | Eint n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Eident x -> x
+  | Ebinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Eunop (op, a) -> Printf.sprintf "%s(%s)" (unop_to_string op) (expr_to_string a)
+  | Ederef a -> Printf.sprintf "*(%s)" (expr_to_string a)
+  | Eaddr a -> Printf.sprintf "&(%s)" (expr_to_string a)
+  | Eindex (a, i) ->
+    Printf.sprintf "(%s)[%s]" (expr_to_string a) (expr_to_string i)
+  | Efield (a, f) -> Printf.sprintf "(%s).%s" (expr_to_string a) f
+  | Earrow (a, f) -> Printf.sprintf "(%s)->%s" (expr_to_string a) f
+  | Ecall (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Eicall (f, args) ->
+    Printf.sprintf "(%s)(%s)" (expr_to_string f)
+      (String.concat ", " (List.map expr_to_string args))
+  | Esizeof t -> Printf.sprintf "sizeof(%s)" (base_ty_to_string t)
+  | Ecast (t, a) ->
+    Printf.sprintf "(%s)(%s)" (base_ty_to_string t) (expr_to_string a)
+  | Eternary (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+      (expr_to_string b)
+
+let decl_to_string ty name init =
+  match (ty, init) with
+  | Tarr (n, elt), None -> Printf.sprintf "%s %s[%d]" (base_ty_to_string elt) name n
+  | Tarr _, Some _ -> invalid_arg "Pretty: array declaration with initializer"
+  | _, None -> Printf.sprintf "%s %s" (base_ty_to_string ty) name
+  | _, Some e -> Printf.sprintf "%s %s = %s" (base_ty_to_string ty) name
+                   (expr_to_string e)
+
+(* A statement usable as a [for] clause (no trailing semicolon). *)
+let simple_to_string = function
+  | Sdecl (ty, x, init) -> decl_to_string ty x init
+  | Sassign (lhs, rhs) ->
+    Printf.sprintf "%s = %s" (expr_to_string lhs) (expr_to_string rhs)
+  | Sexpr e -> expr_to_string e
+  | _ -> invalid_arg "Pretty: statement not allowed in a for clause"
+
+let rec stmt buf ind (s : stmt) : unit =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match s with
+  | Sdecl (ty, x, init) -> pf "%s%s;\n" ind (decl_to_string ty x init)
+  | Sassign (lhs, rhs) ->
+    pf "%s%s = %s;\n" ind (expr_to_string lhs) (expr_to_string rhs)
+  | Sif (c, then_, else_) ->
+    pf "%sif (%s) {\n" ind (expr_to_string c);
+    stmts buf (ind ^ "  ") then_;
+    if else_ = [] then pf "%s}\n" ind
+    else begin
+      pf "%s} else {\n" ind;
+      stmts buf (ind ^ "  ") else_;
+      pf "%s}\n" ind
+    end
+  | Swhile (c, body) ->
+    pf "%swhile (%s) {\n" ind (expr_to_string c);
+    stmts buf (ind ^ "  ") body;
+    pf "%s}\n" ind
+  | Sfor (init, cond, step, body) ->
+    pf "%sfor (%s; %s; %s) {\n" ind
+      (match init with Some s -> simple_to_string s | None -> "")
+      (match cond with Some e -> expr_to_string e | None -> "")
+      (match step with Some s -> simple_to_string s | None -> "");
+    stmts buf (ind ^ "  ") body;
+    pf "%s}\n" ind
+  | Sreturn None -> pf "%sreturn;\n" ind
+  | Sreturn (Some e) -> pf "%sreturn %s;\n" ind (expr_to_string e)
+  | Sbreak -> pf "%sbreak;\n" ind
+  | Scontinue -> pf "%scontinue;\n" ind
+  | Sexpr e -> pf "%s%s;\n" ind (expr_to_string e)
+  | Sblock body ->
+    pf "%s{\n" ind;
+    stmts buf (ind ^ "  ") body;
+    pf "%s}\n" ind
+
+and stmts buf ind ss = List.iter (stmt buf ind) ss
+
+let item buf (it : item) : unit =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match it with
+  | Istruct { sname; sfields } ->
+    pf "struct %s {" sname;
+    List.iter
+      (fun (f, ty) -> pf " %s %s;" (base_ty_to_string ty) f)
+      sfields;
+    pf " };\n\n"
+  | Iglobal { gdty = Tarr (n, elt); gdname; gdinit = None } ->
+    pf "%s %s[%d];\n" (base_ty_to_string elt) gdname n
+  | Iglobal { gdty = Tarr _; gdinit = Some _; _ } ->
+    invalid_arg "Pretty: global array with initializer"
+  | Iglobal { gdty; gdname; gdinit = None } ->
+    pf "%s %s;\n" (base_ty_to_string gdty) gdname
+  | Iglobal { gdty; gdname; gdinit = Some n } ->
+    pf "%s %s = %d;\n" (base_ty_to_string gdty) gdname n
+  | Ifunc { fret; fdname; fparams; fbody } ->
+    pf "%s %s(%s) {\n" (base_ty_to_string fret) fdname
+      (String.concat ", "
+         (List.map
+            (fun (ty, p) -> Printf.sprintf "%s %s" (base_ty_to_string ty) p)
+            fparams));
+    stmts buf "  " fbody;
+    pf "}\n\n"
+
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 4096 in
+  List.iter (item buf) p;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** TinyC AST pretty-printer: renders an {!Ast.program} back to concrete
+    syntax accepted by {!Parser.parse_program}.
+
+    Round-trip stable: [parse_program (program_to_string ast)] is
+    structurally equal to [ast] for every AST the parser can produce
+    (expressions are fully parenthesized; parentheses are transparent in
+    the AST). This is the bridge that lets the soundness sentinel
+    (lib/audit) mutate and delta-debug programs at the AST level while
+    driving them through the unmodified front end. *)
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string

@@ -47,6 +47,11 @@ type knobs = {
   vfg_node_cap : int option;   (** VFG size cap *)
   resolve_fuel : int option;   (** Γ resolution states *)
   inject : fault list;         (** faults to inject (tests/CLI) *)
+  quarantine : (string * string) list;
+      (** functions the soundness sentinel has quarantined, as
+          (function, incident id): the pipeline distrusts each one up
+          front, forcing full instrumentation until the incident is
+          resolved (see lib/audit) *)
 }
 
 let default_knobs =
@@ -61,4 +66,5 @@ let default_knobs =
     vfg_node_cap = None;
     resolve_fuel = None;
     inject = [];
+    quarantine = [];
   }

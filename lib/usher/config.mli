@@ -40,6 +40,11 @@ type knobs = {
   vfg_node_cap : int option;   (** VFG size cap *)
   resolve_fuel : int option;   (** Γ resolution states *)
   inject : fault list;         (** faults to inject (tests/CLI) *)
+  quarantine : (string * string) list;
+      (** functions the soundness sentinel has quarantined, as
+          (function, incident id): {!Pipeline.analyze} distrusts each one
+          up front, forcing full instrumentation until the incident is
+          resolved (see lib/audit) *)
 }
 
 val default_knobs : knobs

@@ -3,17 +3,32 @@
    Whenever a phase blows its budget or faults, the pipeline falls back to
    a sound coarser result (all-undefined Γ, per-function distrust, or
    whole-program full instrumentation) and records what happened here, so
-   drivers can surface exactly which guarantees were traded away. *)
+   drivers can surface exactly which guarantees were traded away.
+
+   A second event kind, [Quarantined], records distrust imposed from the
+   *outside*: the soundness sentinel (lib/audit) files an incident against
+   a function and the pipeline forces full instrumentation for it until
+   the incident is resolved. *)
+
+type kind =
+  | Fault                  (* a phase faulted or blew its budget *)
+  | Quarantined of string  (* distrusted by audit incident (its id) *)
 
 type event = {
   phase : Diag.phase;
   func : string option;  (* None = whole-program degradation *)
   action : string;       (* what the ladder did about it *)
   diag : Diag.t;         (* the underlying failure *)
+  kind : kind;           (* why: an internal fault, or an audit quarantine *)
 }
 
 let to_string (e : event) : string =
-  Printf.sprintf "[degrade] %s%s: %s (%s)"
+  let tag =
+    match e.kind with
+    | Fault -> "degrade"
+    | Quarantined inc -> "quarantine " ^ inc
+  in
+  Printf.sprintf "[%s] %s%s: %s (%s)" tag
     (Diag.phase_name e.phase)
     (match e.func with Some f -> "/" ^ f | None -> "")
     e.action (Diag.to_string e.diag)

@@ -1,10 +1,18 @@
 (** Degradation events: the audit trail of the resilience ladder. *)
 
+(** Why a degradation happened: an internal fault/budget blow, or a
+    quarantine imposed by the soundness sentinel (lib/audit) while its
+    incident is unresolved. *)
+type kind =
+  | Fault
+  | Quarantined of string  (** the incident id that implicated the function *)
+
 type event = {
   phase : Diag.phase;
   func : string option;  (** [None] = whole-program degradation *)
   action : string;       (** what the ladder did about it *)
   diag : Diag.t;         (** the underlying failure *)
+  kind : kind;
 }
 
 val to_string : event -> string

@@ -9,7 +9,7 @@ let all_phases =
   [
     Diag.Lex; Diag.Parse; Diag.Lower; Diag.Ir; Diag.Optim; Diag.Andersen;
     Diag.Callgraph; Diag.Modref; Diag.Memssa; Diag.Vfg_build; Diag.Resolve;
-    Diag.Opt2; Diag.Instrument; Diag.Interp; Diag.Driver;
+    Diag.Opt2; Diag.Instrument; Diag.Interp; Diag.Audit; Diag.Driver;
   ]
 
 let phase_of_string (s : string) : Diag.phase option =

@@ -72,6 +72,7 @@ let front_guarded ?(level = Optim.Pipeline.O0_IM)
           func = None;
           action = "optimizer disabled; fresh unoptimized lowering";
           diag = d;
+          kind = Degrade.Fault;
         };
       ] )
 
@@ -93,9 +94,39 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
           func = Some fname;
           action = "function distrusted; full instrumentation";
           diag = d;
+          kind = Degrade.Fault;
         }
     end
   in
+  (* The sentinel's persistent distrust list (knobs.quarantine): functions
+     implicated in unresolved soundness incidents are distrusted before any
+     analysis runs, so a detected soundness bug costs precision, never
+     correctness. Unknown names are ignored — the list is program-agnostic. *)
+  List.iter
+    (fun (fn, incident) ->
+      match Ir.Prog.find_func prog fn with
+      | None -> ()
+      | Some _ ->
+        if not (Hashtbl.mem distrusted fn) then begin
+          let d =
+            {
+              Diag.severity = Diag.Warning;
+              phase = Diag.Audit;
+              loc = None;
+              message = "quarantined by unresolved incident " ^ incident;
+            }
+          in
+          Hashtbl.replace distrusted fn d;
+          push
+            {
+              Degrade.phase = Diag.Audit;
+              func = Some fn;
+              action = "function quarantined; full instrumentation";
+              diag = d;
+              kind = Degrade.Quarantined incident;
+            }
+        end)
+    knobs.quarantine;
   let fail_all phase exn =
     degraded_all := true;
     push
@@ -104,6 +135,7 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
         func = None;
         action = "whole-program degradation to full instrumentation";
         diag = Diag.of_exn phase exn;
+        kind = Degrade.Fault;
       }
   in
   (* Trusted-from-nothing artifact chain, for rung 4: the stub pointer
@@ -212,6 +244,7 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
             func = None;
             action = Printf.sprintf "Γ(%s) degraded to all-undefined" what;
             diag = Diag.of_exn Diag.Resolve e;
+            kind = Degrade.Fault;
           };
         Vfg.Resolve.all_bot bld.graph
   in
@@ -224,7 +257,9 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     let keep_checks reason diag =
       (match (reason, diag) with
       | Some action, Some d ->
-        push { Degrade.phase = Diag.Opt2; func = None; action; diag = d }
+        push
+          { Degrade.phase = Diag.Opt2; func = None; action; diag = d;
+            kind = Degrade.Fault }
       | _ -> ());
       { Vfg.Opt2.gamma; redirected = 0 }
     in
@@ -305,6 +340,7 @@ let plan_for (a : analysis) (v : Config.variant) :
               action =
                 Config.variant_name v ^ " plan degraded to full instrumentation";
               diag = Diag.of_exn Diag.Instrument e;
+              kind = Degrade.Fault;
             };
           ];
       full ()
