@@ -11,6 +11,15 @@
      dune exec bench/main.exe -- micro     -- Bechamel microbenchmarks of the
                                               analysis phases feeding each table
      dune exec bench/main.exe -- scale=60 fig10   -- override the input scale
+   dune exec bench/main.exe -- --jobs 4 table1  -- run experiments on 4 domains
+                                                   (also: jobs=4, or BENCH_JOBS)
+
+   Every invocation also writes BENCH_usher.json (schema usher-bench/1):
+   per-phase wall times, peak heap, deterministic work counters and
+   per-variant instrumentation statistics for whatever artifacts ran; see
+   EXPERIMENTS.md. [--baseline FILE] fails the run if solve_iterations or
+   states_explored regressed >20%% against the checked-in counters;
+   [--update-baseline FILE] rewrites them.
 
    Expected *shapes* (not absolute numbers) are printed next to each
    artifact; see EXPERIMENTS.md for the comparison against the paper. *)
@@ -20,10 +29,22 @@ module Exp = Usher.Experiment
 
 let scale = ref 30
 
+let jobs =
+  ref
+    (match Sys.getenv_opt "BENCH_JOBS" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> 1)
+
+let baseline_file = ref None
+let update_baseline = ref None
+
 let profiles = Workloads.Spec2000.all
 
+(* The 15 analogs are independent: fan them out over a bounded domain pool.
+   [parallel_map] keeps results in input order and re-raises the earliest
+   failure, so output and exit status match the sequential run. *)
 let run_level level =
-  List.map
+  Exp.parallel_map ~jobs:!jobs
     (fun (p : Workloads.Profile.t) ->
       let src = Workloads.Spec2000.source ~scale:!scale p in
       (p, src, Exp.run ~name:p.pname ~level src))
@@ -212,7 +233,12 @@ let ablation () =
 
 (* One Bechamel Test.make per evaluation artifact: each microbenchmark
    measures the analysis phase that produces the corresponding table or
-   figure, on the 164.gzip analog. *)
+   figure, on the 164.gzip analog. The two [-naive] lines rerun pointer
+   analysis without cycle elimination and resolution without SCC
+   condensation, so one run shows the optimized/naive ratio on the same
+   machine under the same load. *)
+let micro_ns : (string * float) list ref = ref []
+
 let micro () =
   Printf.printf "\n== Bechamel microbenchmarks of the analysis phases ==\n";
   let p = Workloads.Spec2000.find "164.gzip" in
@@ -232,12 +258,18 @@ let micro () =
           (Staged.stage (fun () -> Usher.Pipeline.front src));
         Test.make ~name:"table1/pointer-analysis"
           (Staged.stage (fun () -> Analysis.Andersen.run prepared));
+        Test.make ~name:"table1/pointer-analysis-naive"
+          (Staged.stage (fun () ->
+               Analysis.Andersen.run ~cycle_elim:false prepared));
         Test.make ~name:"table1/memory-ssa"
           (Staged.stage (fun () -> Memssa.build prepared pa cg mr));
         Test.make ~name:"table1/vfg-build"
           (Staged.stage (fun () -> Vfg.Build.build prepared pa cg mr mssa));
         Test.make ~name:"fig10-11/resolution"
           (Staged.stage (fun () -> Vfg.Resolve.resolve vfg.graph));
+        Test.make ~name:"fig10-11/resolution-naive"
+          (Staged.stage (fun () ->
+               Vfg.Resolve.resolve ~condense:false vfg.graph));
         Test.make ~name:"fig10-11/guided-instrumentation"
           (Staged.stage (fun () -> Instr.Guided.build vfg gamma));
         Test.make ~name:"fig10-11/opt2"
@@ -255,29 +287,255 @@ let micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name est ->
-      let ns =
-        match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan
-      in
-      Printf.printf "  %-42s %12.0f ns/run\n" name ns)
-    results
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  micro_ns := !micro_ns @ rows;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-42s %12.0f ns/run\n" name ns)
+    rows;
+  let ratio opt naive =
+    match
+      ( List.assoc_opt ("usher/" ^ opt) rows,
+        List.assoc_opt ("usher/" ^ naive) rows )
+    with
+    | Some o, Some n when o > 0.0 -> Printf.sprintf "%.2fx" (n /. o)
+    | _ -> "n/a"
+  in
+  Printf.printf
+    "  (speedup vs naive: pointer-analysis %s cycle-elim, resolution %s \
+     SCC-condensed)\n"
+    (ratio "table1/pointer-analysis" "table1/pointer-analysis-naive")
+    (ratio "fig10-11/resolution" "fig10-11/resolution-naive")
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_usher.json: a hand-rolled emitter — the container has no JSON
+   library and the schema (usher-bench/1, documented in EXPERIMENTS.md) is
+   small enough not to need one. *)
+
+type json =
+  | J of string (* raw literal: numbers, booleans *)
+  | Jstr of string
+  | Jobj of (string * json) list
+  | Jarr of json list
+
+let jint n = J (string_of_int n)
+let jfloat f = J (if Float.is_finite f then Printf.sprintf "%.6g" f else "0")
+
+let rec emit b ind = function
+  | J s -> Buffer.add_string b s
+  | Jstr s ->
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+  | Jobj [] -> Buffer.add_string b "{}"
+  | Jobj fields ->
+    let pad = String.make (ind + 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        emit b (ind + 2) (Jstr k);
+        Buffer.add_string b ": ";
+        emit b (ind + 2) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make ind ' ');
+    Buffer.add_char b '}'
+  | Jarr [] -> Buffer.add_string b "[]"
+  | Jarr items ->
+    let pad = String.make (ind + 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        emit b (ind + 2) v)
+      items;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make ind ' ');
+    Buffer.add_char b ']'
+
+(* Every experiment actually run this invocation (forced lazies only, in
+   deterministic profile order); the ablation's private runs are not
+   experiment records and are deliberately excluded. *)
+let collected_experiments () =
+  List.concat_map
+    (fun (lvl, l) ->
+      if Lazy.is_val l then
+        List.map
+          (fun ((p : Workloads.Profile.t), _, (e : Exp.t)) -> (lvl, p, e))
+          (Lazy.force l)
+      else [])
+    [ ("O0+IM", o0); ("O1", o1); ("O2", o2) ]
+
+let experiment_json (lvl, (p : Workloads.Profile.t), (e : Exp.t)) =
+  let a = e.analysis in
+  Jobj
+    [
+      ("name", Jstr p.pname);
+      ("level", Jstr lvl);
+      ("analysis_cpu_s", jfloat a.analysis_time_s);
+      ("analysis_mem_mb", jfloat a.analysis_mem_mb);
+      ( "phase_wall_s",
+        Jobj (List.map (fun (n, t) -> (n, jfloat t)) a.phase_times_s) );
+      ("solve_iterations", jint a.pa.solve_iterations);
+      ("pa_sccs_collapsed", jint a.pa.sccs_collapsed);
+      ("pa_edges_deduped", jint a.pa.edges_deduped);
+      ("states_explored", jint a.gamma.states_explored);
+      ("condensed_sccs", jint a.gamma.condensed_sccs);
+      ("vfg_nodes", jint (Vfg.Graph.nnodes a.vfg.graph));
+      ("vfg_edges", jint (Vfg.Graph.nedges a.vfg.graph));
+      ( "variants",
+        Jarr
+          (List.map
+             (fun (r : Exp.variant_result) ->
+               Jobj
+                 [
+                   ("name", Jstr (Cfg.variant_name r.variant));
+                   ("propagations", jint r.static_stats.propagations);
+                   ("checks", jint r.static_stats.checks);
+                   ("slowdown_pct", jfloat r.slowdown_pct);
+                 ])
+             e.results) );
+    ]
+
+let write_bench_json ~wall ~cpu () =
+  let j =
+    Jobj
+      [
+        ("schema", Jstr "usher-bench/1");
+        ("scale", jint !scale);
+        ("jobs", jint !jobs);
+        ("total_wall_s", jfloat wall);
+        ("total_cpu_s", jfloat cpu);
+        ("top_heap_words", jint (Gc.quick_stat ()).Gc.top_heap_words);
+        ("experiments", Jarr (List.map experiment_json (collected_experiments ())));
+        ("micro_ns", Jobj (List.map (fun (n, ns) -> (n, jfloat ns)) !micro_ns));
+      ]
+  in
+  let b = Buffer.create 8192 in
+  emit b 0 j;
+  Buffer.add_char b '\n';
+  let oc = open_out "BENCH_usher.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "(wrote BENCH_usher.json: %d experiment(s), %d micro row(s))\n"
+    (List.length (collected_experiments ()))
+    (List.length !micro_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Work-counter baseline: solve_iterations and states_explored are
+   deterministic for a given (profile, level, scale), so CI can catch an
+   algorithmic regression without trusting wall clocks. One line per
+   experiment: name level solve_iterations states_explored. *)
+
+let write_baseline file =
+  let oc = open_out file in
+  output_string oc
+    "# usher bench work counters: name level solve_iterations states_explored\n";
+  Printf.fprintf oc "# generated at scale %d\n" !scale;
+  List.iter
+    (fun (lvl, (p : Workloads.Profile.t), (e : Exp.t)) ->
+      Printf.fprintf oc "%s %s %d %d\n" p.pname lvl
+        e.analysis.pa.solve_iterations e.analysis.gamma.states_explored)
+    (collected_experiments ());
+  close_out oc;
+  Printf.printf "(wrote baseline counters to %s)\n" file
+
+let check_baseline file =
+  let base = Hashtbl.create 64 in
+  let ic = open_in file in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match
+           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+         with
+         | [ name; lvl; si; se ] ->
+           Hashtbl.replace base (name, lvl)
+             (int_of_string si, int_of_string se)
+         | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let failures = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (lvl, (p : Workloads.Profile.t), (e : Exp.t)) ->
+      match Hashtbl.find_opt base (p.pname, lvl) with
+      | None ->
+        Printf.printf "baseline: no entry for %s %s (skipped)\n" p.pname lvl
+      | Some (si, se) ->
+        incr checked;
+        let chk what now was =
+          if was > 0 && float_of_int now > 1.2 *. float_of_int was then begin
+            incr failures;
+            Printf.printf "REGRESSION %s %s: %s %d -> %d (>20%%)\n" p.pname
+              lvl what was now
+          end
+        in
+        chk "solve_iterations" e.analysis.pa.solve_iterations si;
+        chk "states_explored" e.analysis.gamma.states_explored se)
+    (collected_experiments ());
+  if !failures > 0 then begin
+    Printf.printf "(baseline check FAILED: %d counter regression(s))\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf "(baseline check OK: %d experiment(s) within 20%% of %s)\n"
+      !checked file
 
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        match String.index_opt a '=' with
-        | Some i when String.sub a 0 i = "scale" ->
-          scale := int_of_string (String.sub a (i + 1) (String.length a - i - 1));
-          false
-        | _ -> true)
-      args
+  let baseline_check = ref false in
+  let rec parse = function
+    | [] -> []
+    | "--jobs" :: n :: rest ->
+      jobs := max 1 (int_of_string n);
+      parse rest
+    | "--baseline" :: f :: rest ->
+      baseline_file := Some f;
+      baseline_check := true;
+      parse rest
+    | "--update-baseline" :: rest ->
+      update_baseline := Some ();
+      parse rest
+    | a :: rest -> (
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "scale" ->
+        scale := int_of_string (String.sub a (i + 1) (String.length a - i - 1));
+        parse rest
+      | Some i when String.sub a 0 i = "jobs" ->
+        jobs :=
+          max 1 (int_of_string (String.sub a (i + 1) (String.length a - i - 1)));
+        parse rest
+      | _ -> a :: parse rest)
   in
+  let args = parse (Array.to_list Sys.argv |> List.tl) in
   let t0 = Sys.time () in
+  let w0 = Unix.gettimeofday () in
   (match args with
   | [] -> List.iter (fun f -> f ()) [ table1; fig10; fig11; sec46; detect; ablation ]
   | names ->
@@ -293,4 +551,11 @@ let () =
         | "micro" -> micro ()
         | other -> Printf.eprintf "unknown artifact %s\n" other)
       names);
-  Printf.printf "\n(total bench time: %.1fs at scale %d)\n" (Sys.time () -. t0) !scale
+  Printf.printf "\n(total bench time: %.1fs wall / %.1fs cpu at scale %d, jobs %d)\n"
+    (Unix.gettimeofday () -. w0)
+    (Sys.time () -. t0)
+    !scale !jobs;
+  write_bench_json ~wall:(Unix.gettimeofday () -. w0) ~cpu:(Sys.time () -. t0) ();
+  let bfile = Option.value !baseline_file ~default:"bench/baseline_counters.txt" in
+  if !update_baseline <> None then write_baseline bfile
+  else if !baseline_check then check_baseline bfile

@@ -199,6 +199,12 @@ let analyze_cmd =
       t1.vfg_nodes t1.pct_reaching t1.pct_strong t1.pct_weak_singleton;
     Printf.printf "static shadow propagations: %d   checks: %d   items: %d\n"
       stats.propagations stats.checks stats.total_items;
+    Printf.printf
+      "pointer solver: %d iterations, %d cycles collapsed, %d copy edges deduped\n"
+      t1.pa_solve_iterations t1.pa_sccs_collapsed t1.pa_edges_deduped;
+    Printf.printf
+      "resolution: %d states, %d VFG SCCs collapsed (condensation ratio %.3f)\n"
+      t1.resolve_states t1.resolve_condensed_sccs t1.condensation_ratio;
     (match guided with
     | Some g ->
       Printf.printf "guided traversal reached %d nodes; Opt I simplified %d closures\n"

@@ -25,11 +25,18 @@ type t = {
   objects : Objects.t;
   nvars : int;
   ret_node : (fname, int) Hashtbl.t;
-  pts : Bitset.t array;
+  wpn : int;             (** words per node in [pts_words] *)
+  pts_words : int array; (** flat points-to storage, [wpn] words per node *)
+  repr : int array;      (** node -> its collapsed-cycle representative *)
+  pts_cache : Bitset.t option array;
+      (** lazily materialized per-node views over [pts_words] *)
   callees : (label, fname list) Hashtbl.t;   (** resolved call graph *)
   wrappers : (fname, label) Hashtbl.t;       (** wrapper -> its heap site *)
   address_taken_funcs : (fname, unit) Hashtbl.t;
   solve_iterations : int;
+  sccs_collapsed : int;
+      (** copy-cycle unions performed by online cycle elimination *)
+  edges_deduped : int;  (** duplicate copy edges skipped by the solver *)
 }
 
 (** Is [f] an allocation wrapper (unique heap allocation whose result is
@@ -37,8 +44,12 @@ type t = {
 val detect_wrapper : func -> label option
 
 (** Run the analysis. [budget] burns one unit of solver fuel (and ticks the
-    deadline) per worklist iteration. *)
-val run : ?config:config -> ?budget:Diag.Budget.t -> Ir.Prog.t -> t
+    deadline) per worklist iteration. [cycle_elim] (default true) collapses
+    copy cycles online via union-find — same points-to sets and call graph,
+    fewer iterations; [false] keeps the textbook worklist as the reference
+    path for the equivalence properties. *)
+val run :
+  ?config:config -> ?cycle_elim:bool -> ?budget:Diag.Budget.t -> Ir.Prog.t -> t
 
 (** Conservative fallback when the real analysis is out of budget or
     faulted: no objects, empty points-to sets, no resolved callees. Only

@@ -5,6 +5,7 @@ type t = { mutable words : int array }
 let word_bits = Sys.int_size
 
 let create () = { words = [||] }
+let of_words words = { words }
 
 let ensure t i =
   let w = (i / word_bits) + 1 in
@@ -13,6 +14,18 @@ let ensure t i =
     Array.blit t.words 0 words 0 (Array.length t.words);
     t.words <- words
   end
+
+let capacity_words t = Array.length t.words
+
+(** Index of the highest nonzero word, or -1 when the set is empty. Trailing
+    zero words (from capacity doubling) are skipped, so growth decisions
+    based on this never over-allocate. *)
+let top_word t =
+  let w = ref (Array.length t.words - 1) in
+  while !w >= 0 && t.words.(!w) = 0 do
+    decr w
+  done;
+  !w
 
 let mem t i =
   let w = i / word_bits in
@@ -29,12 +42,16 @@ let add t i =
   end
 
 (** [union_into ~src ~dst] adds all of [src] into [dst]; returns true if [dst]
-    changed. *)
+    changed. [dst] is sized from [src]'s highest *set* word, not its
+    allocated capacity. *)
 let union_into ~src ~dst =
-  ensure dst ((Array.length src.words * word_bits) - 1 |> max 0);
-  let changed = ref false in
-  Array.iteri
-    (fun w sw ->
+  let tw = top_word src in
+  if tw < 0 then false
+  else begin
+    ensure dst (((tw + 1) * word_bits) - 1);
+    let changed = ref false in
+    for w = 0 to tw do
+      let sw = src.words.(w) in
       if sw <> 0 then begin
         let dw = dst.words.(w) in
         let nw = dw lor sw in
@@ -42,9 +59,37 @@ let union_into ~src ~dst =
           dst.words.(w) <- nw;
           changed := true
         end
-      end)
-    src.words;
-  !changed
+      end
+    done;
+    !changed
+  end
+
+(** [union_into_delta ~src ~dst ~delta] adds all of [src] into [dst] and
+    records every *newly inserted* element in [delta] as well — the solver's
+    difference-propagation primitive, one word-level pass, no intermediate
+    list. Returns true if [dst] changed. *)
+let union_into_delta ~src ~dst ~delta =
+  let tw = top_word src in
+  if tw < 0 then false
+  else begin
+    let hi = ((tw + 1) * word_bits) - 1 in
+    ensure dst hi;
+    let changed = ref false in
+    for w = 0 to tw do
+      let sw = src.words.(w) in
+      if sw <> 0 then begin
+        let dw = dst.words.(w) in
+        let nw = dw lor sw in
+        if nw <> dw then begin
+          dst.words.(w) <- nw;
+          ensure delta hi;
+          delta.words.(w) <- delta.words.(w) lor (nw lxor dw);
+          changed := true
+        end
+      end
+    done;
+    !changed
+  end
 
 let iter f t =
   Array.iteri
@@ -54,6 +99,22 @@ let iter f t =
           if word land (1 lsl b) <> 0 then f ((w * word_bits) + b)
         done)
     t.words
+
+(** [iter_diff f ~src ~old] applies [f] to each element of [src] \ [old] in
+    ascending order, word by word, without building a list. [f] may add to
+    [src]: additions landing in already-visited words are picked up on the
+    caller's next round, not this one. *)
+let iter_diff f ~src ~old =
+  let ow = old.words in
+  let no = Array.length ow in
+  let nw = Array.length src.words in
+  for w = 0 to nw - 1 do
+    let d = src.words.(w) land lnot (if w < no then ow.(w) else 0) in
+    if d <> 0 then
+      for b = 0 to word_bits - 1 do
+        if d land (1 lsl b) <> 0 then f ((w * word_bits) + b)
+      done
+  done
 
 let fold f t acc =
   let acc = ref acc in
@@ -69,7 +130,11 @@ let cardinal t =
     t.words;
   !n
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let is_empty t = top_word t < 0
+
+(** Zero every word, keeping the allocated capacity — lets the solver recycle
+    delta sets without churning the allocator. *)
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
@@ -77,6 +142,18 @@ let choose t =
   let r = ref None in
   (try iter (fun i -> r := Some i; raise Exit) t with Exit -> ());
   !r
+
+let max_elt t =
+  let w = top_word t in
+  if w < 0 then None
+  else begin
+    let word = t.words.(w) in
+    let b = ref (word_bits - 1) in
+    while word land (1 lsl !b) = 0 do
+      decr b
+    done;
+    Some ((w * word_bits) + !b)
+  end
 
 let copy t = { words = Array.copy t.words }
 

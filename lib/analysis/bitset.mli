@@ -2,16 +2,32 @@
 
 type t
 
+(** Bits per word — for callers packing several sets into one flat array. *)
+val word_bits : int
+
 val create : unit -> t
+
+(** Wrap an existing word array (ownership transfers; not copied). *)
+val of_words : int array -> t
 val mem : t -> int -> bool
 
 (** Returns true iff newly inserted. *)
 val add : t -> int -> bool
 
-(** Add all of [src] into [dst]; true iff [dst] changed. *)
+(** Add all of [src] into [dst]; true iff [dst] changed. [dst] is grown to
+    [src]'s highest set element, never to its allocated capacity. *)
 val union_into : src:t -> dst:t -> bool
 
+(** Add all of [src] into [dst], recording every newly inserted element in
+    [delta] too — one word-level pass, no intermediate list. True iff [dst]
+    changed. *)
+val union_into_delta : src:t -> dst:t -> delta:t -> bool
+
 val iter : (int -> unit) -> t -> unit
+
+(** Apply [f] to each element of [src] \ [old], ascending, without
+    allocating a list. *)
+val iter_diff : (int -> unit) -> src:t -> old:t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val cardinal : t -> int
 val is_empty : t -> bool
@@ -20,6 +36,16 @@ val is_empty : t -> bool
 val elements : t -> int list
 
 val choose : t -> int option
+
+(** Largest element, if any. *)
+val max_elt : t -> int option
+
+(** Zero every word, keeping the allocated capacity. *)
+val reset : t -> unit
+
+(** Allocated size in words — exposed for growth diagnostics and tests. *)
+val capacity_words : t -> int
+
 val copy : t -> t
 
 (** Elements of [src] absent from [old]. *)

@@ -27,11 +27,14 @@ let mk_param b name =
   b.params <- b.params @ [ v ];
   v
 
-let temp_count = ref 0
+(* Atomic so builders may run in parallel domains (the bench harness
+   compiles independent programs concurrently); the counter only has to
+   produce distinct names. *)
+let temp_count = Atomic.make 0
 
 let fresh_temp b =
-  incr temp_count;
-  fresh_var b (Printf.sprintf "t%d" !temp_count)
+  let n = Atomic.fetch_and_add temp_count 1 + 1 in
+  fresh_var b (Printf.sprintf "t%d" n)
 
 (** Create a new, empty block and return its id. It is not current yet. *)
 let new_block b : blockid =

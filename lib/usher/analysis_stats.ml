@@ -16,6 +16,12 @@ type t = {
   pct_reaching : float;          (* %B: nodes needing tracking *)
   opt1_simplified : int;         (* S (second): closures simplified *)
   opt2_redirected : int;         (* R *)
+  pa_solve_iterations : int;     (* Andersen worklist pops *)
+  pa_sccs_collapsed : int;       (* pointer-equivalence cycles unified *)
+  pa_edges_deduped : int;        (* duplicate copy edges skipped *)
+  resolve_states : int;          (* (node, context) states explored *)
+  resolve_condensed_sccs : int;  (* nontrivial VFG SCCs the search collapsed *)
+  condensation_ratio : float;    (* VFG components / nodes; 1.0 = no cycles *)
   degraded_functions : string list;   (* distrusted: MSan instrumentation *)
   degradation_events : string list;   (* the ladder's audit trail *)
 }
@@ -88,6 +94,18 @@ let compute ~(src : string) (a : Pipeline.analysis) : t =
     opt1_simplified =
       (match opt1 with Some o -> o.opt1_simplified | None -> 0);
     opt2_redirected = a.opt2.redirected;
+    pa_solve_iterations = a.pa.solve_iterations;
+    pa_sccs_collapsed = a.pa.sccs_collapsed;
+    pa_edges_deduped = a.pa.edges_deduped;
+    resolve_states = a.gamma.states_explored;
+    resolve_condensed_sccs = a.gamma.condensed_sccs;
+    condensation_ratio =
+      (let n = Vfg.Graph.nnodes a.vfg.graph in
+       if n = 0 then 1.0
+       else
+         (* cached after resolution, so this is a lookup, not a recompute *)
+         float_of_int (Vfg.Graph.condensation a.vfg.graph).ncomps
+         /. float_of_int n);
     degraded_functions = Pipeline.distrusted_functions a;
     degradation_events = List.map Degrade.to_string !(a.events);
   }

@@ -16,6 +16,12 @@ type t = {
   pct_reaching : float;          (** %B: nodes needing tracking *)
   opt1_simplified : int;         (** closures simplified by Opt I *)
   opt2_redirected : int;         (** R: nodes redirected by Opt II *)
+  pa_solve_iterations : int;     (** Andersen worklist pops *)
+  pa_sccs_collapsed : int;       (** pointer-equivalence cycles unified *)
+  pa_edges_deduped : int;        (** duplicate copy edges skipped *)
+  resolve_states : int;          (** (node, context) states explored *)
+  resolve_condensed_sccs : int;  (** nontrivial VFG SCCs the search collapsed *)
+  condensation_ratio : float;    (** VFG components / nodes; 1.0 = no cycles *)
   degraded_functions : string list;   (** distrusted: MSan instrumentation *)
   degradation_events : string list;   (** the ladder's audit trail *)
 }

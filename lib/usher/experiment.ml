@@ -121,3 +121,36 @@ let run ?(name = "program") ?(level = Optim.Pipeline.O0_IM)
 
 let result_for (t : t) (v : Config.variant) : variant_result =
   List.find (fun r -> r.variant = v) t.results
+
+(* Bounded-pool parallel map over OCaml 5 domains. Items are claimed from
+   an atomic next-index counter; each slot of [results] is written by
+   exactly one domain, so the only synchronization needed is the joins.
+   Results keep input order, and the earliest failing input's exception is
+   re-raised after every domain has joined — so the outcome (values or
+   exception) is deterministic even though scheduling is not. *)
+let parallel_map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (try Ok (f input.(i)) with e -> Error e);
+        worker ()
+      end
+    in
+    (* The calling domain is one of the pool. *)
+    let spawned =
+      List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> r
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

@@ -38,6 +38,8 @@ type analysis = {
   opt2 : Vfg.Opt2.result;             (* Γ after redundant check elimination *)
   analysis_time_s : float;            (* pointer analysis through Opt II *)
   analysis_mem_mb : float;
+  phase_times_s : (string * float) list;
+      (* wall-clock seconds per phase, in pipeline order *)
   knobs : Config.knobs;
   distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t;
       (* functions whose static results are no longer trusted *)
@@ -83,6 +85,16 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
   let events : Degrade.event list ref = ref [] in
   let distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t = Hashtbl.create 4 in
   let degraded_all = ref false in
+  (* Wall-clock per-phase timing (Sys.time above stays the CPU-time total
+     Table 1 reports). Wrapping outside the fault guard charges fallback
+     work to the phase that degraded. *)
+  let phase_times : (string * float) list ref = ref [] in
+  let timed name f =
+    let w0 = Unix.gettimeofday () in
+    let r = f () in
+    phase_times := (name, Unix.gettimeofday () -. w0) :: !phase_times;
+    r
+  in
   let push ev = events := !events @ [ ev ] in
   let distrust phase fname exn =
     let d = Diag.of_exn phase exn in
@@ -170,30 +182,34 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
         fallback ()
   in
   let pa =
-    guard Diag.Andersen ~fallback:s_pa (fun () ->
-        Analysis.Andersen.run
-          ~config:
-            {
-              Analysis.Andersen.field_sensitive = knobs.field_sensitive;
-              heap_cloning = knobs.heap_cloning;
-              small_array_fields = knobs.small_array_fields;
-            }
-          ?budget prog)
+    timed "andersen" (fun () ->
+        guard Diag.Andersen ~fallback:s_pa (fun () ->
+            Analysis.Andersen.run
+              ~config:
+                {
+                  Analysis.Andersen.field_sensitive = knobs.field_sensitive;
+                  heap_cloning = knobs.heap_cloning;
+                  small_array_fields = knobs.small_array_fields;
+                }
+              ?budget prog))
   in
   let cg =
-    guard Diag.Callgraph ~fallback:s_cg (fun () ->
-        Analysis.Callgraph.build prog pa)
+    timed "callgraph" (fun () ->
+        guard Diag.Callgraph ~fallback:s_cg (fun () ->
+            Analysis.Callgraph.build prog pa))
   in
   let mr =
-    guard Diag.Modref ~fallback:s_mr (fun () ->
-        Analysis.Modref.compute prog pa cg)
+    timed "modref" (fun () ->
+        guard Diag.Modref ~fallback:s_mr (fun () ->
+            Analysis.Modref.compute prog pa cg))
   in
   let mssa =
-    guard Diag.Memssa ~fallback:s_mssa (fun () ->
-        Memssa.build ?budget
-          ~hook:(fun fn -> Fault.check knobs Diag.Memssa (Some fn))
-          ~on_fault:(fun fn e -> distrust Diag.Memssa fn e)
-          prog pa cg mr)
+    timed "memssa" (fun () ->
+        guard Diag.Memssa ~fallback:s_mssa (fun () ->
+            Memssa.build ?budget
+              ~hook:(fun fn -> Fault.check knobs Diag.Memssa (Some fn))
+              ~on_fault:(fun fn e -> distrust Diag.Memssa fn e)
+              prog pa cg mr))
   in
   (* If rung 4 triggered anywhere above, swap in the whole stub chain so
      the artifacts agree with each other (mixing a real mod/ref with a
@@ -212,14 +228,16 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     else Vfg.Build.build ~config ~on_fault:(fun _ _ -> ()) prog pa cg mr mssa
   in
   let vfg =
-    guard Diag.Vfg_build
-      ~fallback:(fun () -> build_vfg ~track_memory:true ~guarded:false ())
-      (fun () -> build_vfg ~track_memory:true ~guarded:true ())
+    timed "vfg" (fun () ->
+        guard Diag.Vfg_build
+          ~fallback:(fun () -> build_vfg ~track_memory:true ~guarded:false ())
+          (fun () -> build_vfg ~track_memory:true ~guarded:true ()))
   in
   let vfg_tl =
-    guard Diag.Vfg_build
-      ~fallback:(fun () -> build_vfg ~track_memory:false ~guarded:false ())
-      (fun () -> build_vfg ~track_memory:false ~guarded:true ())
+    timed "vfg-tl" (fun () ->
+        guard Diag.Vfg_build
+          ~fallback:(fun () -> build_vfg ~track_memory:false ~guarded:false ())
+          (fun () -> build_vfg ~track_memory:false ~guarded:true ()))
   in
   (* Rung 3: force every distrusted function's VFG fragment (and every
      flow crossing the trust boundary) to ⊥ before resolution, in both
@@ -248,12 +266,13 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
           };
         Vfg.Resolve.all_bot bld.graph
   in
-  let gamma = resolve_guard "TL+AT" vfg in
-  let gamma_tl = resolve_guard "TL" vfg_tl in
+  let gamma = timed "resolve" (fun () -> resolve_guard "TL+AT" vfg) in
+  let gamma_tl = timed "resolve-tl" (fun () -> resolve_guard "TL" vfg_tl) in
   (* Rung 1: without Opt II the redundant checks simply stay in. Opt II is
      also skipped whenever anything above degraded — its dominance argument
      assumes the unmodified Γ of a fully analyzed program. *)
   let opt2 =
+    timed "opt2" @@ fun () ->
     let keep_checks reason diag =
       (match (reason, diag) with
       | Some action, Some d ->
@@ -297,6 +316,7 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     opt2;
     analysis_time_s = dt;
     analysis_mem_mb = float_of_int (words * 8) /. 1048576.0;
+    phase_times_s = List.rev !phase_times;
     knobs;
     distrusted;
     degraded_all = !degraded_all;

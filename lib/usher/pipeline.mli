@@ -23,6 +23,10 @@ type analysis = {
   opt2 : Vfg.Opt2.result;             (** Γ after redundant check elimination *)
   analysis_time_s : float;
   analysis_mem_mb : float;
+  phase_times_s : (string * float) list;
+      (** wall-clock seconds per analysis phase, in pipeline order:
+          andersen, callgraph, modref, memssa, vfg, vfg-tl, resolve,
+          resolve-tl, opt2 *)
   knobs : Config.knobs;
   distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t;
       (** functions whose static results are no longer trusted *)

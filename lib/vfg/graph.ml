@@ -29,6 +29,26 @@ type def_site =
   | Dentry of fname              (* memory version 1: virtual input or
                                     pseudo-entry of a local stack object *)
 
+(** The quotient of the graph by its intraprocedural ([Eintra]) strongly-
+    connected components. Within such an SCC every node reaches every other
+    without crossing a call or return, so any context-sensitive reachability
+    result is uniform across the component — resolution can run over the
+    condensation and distribute the answer to members, exactly. *)
+type condensation = {
+  comp : int array;         (* node id -> component id *)
+  ncomps : int;
+  members_off : int array;  (* CSR offsets, length ncomps+1 *)
+  members : int array;      (* node ids grouped by component *)
+  cpred_off : int array;    (* CSR offsets, length ncomps+1 *)
+  cpred : int array;        (* reversed edges, one packed int each:
+                               [comp lsl ckind_bits lor kind] with kind
+                               0 = Eintra, 2l+1 = Ecall l, 2l+2 = Eret l;
+                               deduped, intra-component Eintra dropped *)
+  ckind_bits : int;         (* bit width of the kind field in [cpred] *)
+  nontrivial_sccs : int;    (* components with >= 2 members *)
+  max_label : int;          (* highest call-site label on any edge, or -1 *)
+}
+
 type t = {
   mutable nnodes : int;
   ids : (node, int) Hashtbl.t;
@@ -38,6 +58,8 @@ type t = {
   mutable defs : def_site array;
   edge_seen : (int * int * edge_kind, unit) Hashtbl.t;
   mutable nedges : int;
+  mutable version : int;    (* bumped on any node/edge mutation *)
+  mutable cond : (int * condensation) option;   (* cache, keyed by version *)
 }
 
 let dummy_node = Root_t
@@ -53,6 +75,8 @@ let create () =
       defs = Array.make 1024 Droot;
       edge_seen = Hashtbl.create 4096;
       nedges = 0;
+      version = 0;
+      cond = None;
     }
   in
   t
@@ -83,6 +107,7 @@ let intern t (n : node) : int =
     t.nnodes <- id + 1;
     Hashtbl.replace t.ids n id;
     t.rev.(id) <- n;
+    t.version <- t.version + 1;
     id
 
 let node_of t id = t.rev.(id)
@@ -96,7 +121,8 @@ let add_edge t ~(src : int) ~(dst : int) (k : edge_kind) =
     Hashtbl.replace t.edge_seen (src, dst, k) ();
     t.succs.(src) <- (dst, k) :: t.succs.(src);
     t.preds.(dst) <- (src, k) :: t.preds.(dst);
-    t.nedges <- t.nedges + 1
+    t.nedges <- t.nedges + 1;
+    t.version <- t.version + 1
   end
 
 (** Remove every edge out of [src]; used by Opt II's rewiring. *)
@@ -107,7 +133,8 @@ let clear_succs t (src : int) =
       t.preds.(dst) <- List.filter (fun (s, k') -> not (s = src && k' = k)) t.preds.(dst);
       t.nedges <- t.nedges - 1)
     t.succs.(src);
-  t.succs.(src) <- []
+  t.succs.(src) <- [];
+  t.version <- t.version + 1
 
 let succs t id = t.succs.(id)
 let preds t id = t.preds.(id)
@@ -138,4 +165,169 @@ let copy t =
     defs = Array.copy t.defs;
     edge_seen = Hashtbl.copy t.edge_seen;
     nedges = t.nedges;
+    version = t.version;
+    (* The cached condensation is immutable; sharing it is safe — any
+       mutation of the copy bumps its version and recomputes. *)
+    cond = t.cond;
   }
+
+(* Iterative Tarjan over the Eintra-only subgraph. *)
+let compute_condensation t : condensation =
+  let n = t.nnodes in
+  let comp = Array.make n (-1) in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Bytes.make n '\000' in
+  let stack = ref [] in
+  let ncomps = ref 0 in
+  let idx = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      index.(root) <- !idx;
+      lowlink.(root) <- !idx;
+      incr idx;
+      stack := root :: !stack;
+      Bytes.set on_stack root '\001';
+      let frames = ref [ (root, ref t.succs.(root)) ] in
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, rest) :: tl -> (
+          match !rest with
+          | (w, Eintra) :: more when index.(w) = -1 ->
+            rest := more;
+            index.(w) <- !idx;
+            lowlink.(w) <- !idx;
+            incr idx;
+            stack := w :: !stack;
+            Bytes.set on_stack w '\001';
+            frames := (w, ref t.succs.(w)) :: !frames
+          | (w, Eintra) :: more ->
+            rest := more;
+            if Bytes.get on_stack w = '\001' && index.(w) < lowlink.(v) then
+              lowlink.(v) <- index.(w)
+          | (_, (Ecall _ | Eret _)) :: more -> rest := more
+          | [] ->
+            frames := tl;
+            (match tl with
+            | (u, _) :: _ ->
+              if lowlink.(v) < lowlink.(u) then lowlink.(u) <- lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              let c = !ncomps in
+              incr ncomps;
+              let last = ref (-1) in
+              while !last <> v do
+                match !stack with
+                | w :: rest' ->
+                  stack := rest';
+                  Bytes.set on_stack w '\000';
+                  comp.(w) <- c;
+                  last := w
+                | [] -> last := v
+              done
+            end)
+      done
+    end
+  done;
+  let ncomps = !ncomps in
+  (* Members, CSR by counting sort. *)
+  let members_off = Array.make (ncomps + 1) 0 in
+  for v = 0 to n - 1 do
+    members_off.(comp.(v) + 1) <- members_off.(comp.(v) + 1) + 1
+  done;
+  let nontrivial = ref 0 in
+  for c = 1 to ncomps do
+    if members_off.(c) >= 2 then incr nontrivial;
+    members_off.(c) <- members_off.(c) + members_off.(c - 1)
+  done;
+  let members = Array.make n 0 in
+  let fill = Array.copy members_off in
+  for v = 0 to n - 1 do
+    let c = comp.(v) in
+    members.(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  (* Component-level reversed edges, deduped per (pred-comp, comp, kind) by
+     sorting packed keys; Eintra edges inside one component vanish, which
+     is the whole point. Kinds pack as 0 / 2l+1 / 2l+2. *)
+  let max_label = ref (-1) in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (_, k) ->
+        match k with
+        | Eintra -> ()
+        | Ecall l | Eret l -> if l > !max_label then max_label := l)
+      t.preds.(v)
+  done;
+  let kspan = (2 * (!max_label + 1)) + 1 in
+  let keys = Array.make t.nedges 0 in
+  let nkeys = ref 0 in
+  for v = 0 to n - 1 do
+    let cv = comp.(v) in
+    List.iter
+      (fun (u, k) ->
+        let cu = comp.(u) in
+        let kc =
+          match k with Eintra -> 0 | Ecall l -> (2 * l) + 1 | Eret l -> (2 * l) + 2
+        in
+        if not (cu = cv && kc = 0) then begin
+          keys.(!nkeys) <- ((((cv * ncomps) + cu) * kspan) + kc);
+          incr nkeys
+        end)
+      t.preds.(v)
+  done;
+  let keys = Array.sub keys 0 !nkeys in
+  Array.sort Int.compare keys;
+  let nuniq = ref 0 in
+  Array.iteri
+    (fun i k -> if i = 0 || keys.(i - 1) <> k then incr nuniq)
+    keys;
+  let cpred_off = Array.make (ncomps + 1) 0 in
+  let cpred = Array.make !nuniq 0 in
+  (* One packed int per edge keeps the hot search loop to a single random
+     load; the kind field is sized to the label range. *)
+  let ckind_bits =
+    let b = ref 1 in
+    while 1 lsl !b < kspan do incr b done;
+    !b
+  in
+  let j = ref 0 in
+  Array.iteri
+    (fun i key ->
+      if i = 0 || keys.(i - 1) <> key then begin
+        let cu_kc = key in
+        let kc = cu_kc mod kspan in
+        let rest = cu_kc / kspan in
+        let cu = rest mod ncomps in
+        let cv = rest / ncomps in
+        cpred.(!j) <- (cu lsl ckind_bits) lor kc;
+        cpred_off.(cv + 1) <- !j + 1;
+        incr j
+      end)
+    keys;
+  (* cpred_off.(c+1) currently holds the end index only for components with
+     edges; make it a proper running maximum. *)
+  for c = 1 to ncomps do
+    if cpred_off.(c) < cpred_off.(c - 1) then
+      cpred_off.(c) <- cpred_off.(c - 1)
+  done;
+  {
+    comp;
+    ncomps;
+    members_off;
+    members;
+    cpred_off;
+    cpred;
+    ckind_bits;
+    nontrivial_sccs = !nontrivial;
+    max_label = !max_label;
+  }
+
+let condensation t : condensation =
+  match t.cond with
+  | Some (v, c) when v = t.version -> c
+  | _ ->
+    let c = compute_condensation t in
+    t.cond <- Some (t.version, c);
+    c

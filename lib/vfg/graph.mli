@@ -64,3 +64,27 @@ val iter_nodes : (int -> node -> unit) -> t -> unit
 (** Deep copy, so Opt II can rewire a scratch graph while guided
     instrumentation keeps the original. *)
 val copy : t -> t
+
+(** The quotient of the graph by its intraprocedural ([Eintra]) strongly-
+    connected components. Within such an SCC every node reaches every other
+    without crossing a call or return edge, so context-sensitive
+    reachability is uniform across the component: resolution can run over
+    the condensation and distribute the answer to members, exactly. *)
+type condensation = {
+  comp : int array;         (** node id -> component id *)
+  ncomps : int;
+  members_off : int array;  (** CSR offsets, length ncomps+1 *)
+  members : int array;      (** node ids grouped by component *)
+  cpred_off : int array;    (** CSR offsets, length ncomps+1 *)
+  cpred : int array;
+      (** reversed edges, one packed int each:
+          [comp lsl ckind_bits lor kind] with kind 0 = Eintra,
+          2l+1 = Ecall l, 2l+2 = Eret l; deduped, intra-component
+          Eintra edges dropped *)
+  ckind_bits : int;         (** bit width of the kind field in [cpred] *)
+  nontrivial_sccs : int;    (** components with >= 2 members *)
+  max_label : int;          (** highest call-site label on any edge, or -1 *)
+}
+
+(** Cached: recomputed only after a node or edge mutation. *)
+val condensation : t -> condensation

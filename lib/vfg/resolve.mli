@@ -2,11 +2,17 @@
     along a realizable path — interprocedural flows must match call and
     return edges, approximated with 1-callsite call strings (the paper's
     configuration). Matching only ever excludes unrealizable paths, so the
-    analysis stays sound. *)
+    analysis stays sound.
+
+    By default the search runs over the graph's Eintra-SCC condensation
+    ({!Graph.condensation}), visiting each component once per context
+    instead of once per member — the resulting Γ is identical. *)
 
 type gamma = {
-  undef : bool array;        (** Γ(v) = ⊥, indexed by node id *)
+  undef : Bytes.t;           (** Γ(v) = ⊥, one byte per node id *)
   states_explored : int;
+  condensed_sccs : int;
+      (** nontrivial SCCs the search collapsed (0 when run uncondensed) *)
 }
 
 val is_undef : gamma -> int -> bool
@@ -14,12 +20,16 @@ val is_undef : gamma -> int -> bool
 (** Generic seeded reachability over reversed edges with call/return
     matching — the engine behind {!resolve} and other forward-flow clients
     of the VFG (e.g. {!Client_taint}). [undef] reads as "reached from a
-    seed along a realizable path". *)
+    seed along a realizable path". [condense] (default true) runs over the
+    SCC condensation; [false] keeps the node-level search as the reference
+    path for the equivalence properties. *)
 val reach :
-  ?context_sensitive:bool -> ?budget:Diag.Budget.t -> Graph.t ->
-  seeds:int list -> gamma
+  ?context_sensitive:bool -> ?condense:bool -> ?budget:Diag.Budget.t ->
+  Graph.t -> seeds:int list -> gamma
 
-val resolve : ?context_sensitive:bool -> ?budget:Diag.Budget.t -> Graph.t -> gamma
+val resolve :
+  ?context_sensitive:bool -> ?condense:bool -> ?budget:Diag.Budget.t ->
+  Graph.t -> gamma
 
 (** The everything-⊥ Γ — the sound fallback when resolution faults or runs
     out of budget: more ⊥ only ever adds instrumentation. *)

@@ -1,0 +1,149 @@
+(* Equivalence properties for the PR's performance work: the optimized
+   solvers must be *observably identical* to their reference paths.
+
+   1. Andersen with online cycle elimination (the default) vs the textbook
+      difference-propagation worklist ([~cycle_elim:false]): identical
+      points-to sets for every variable and location, identical resolved
+      callees at every call site.
+   2. Definedness resolution over the Eintra-SCC condensation (the
+      default) vs the node-level search ([~condense:false]): identical Γ,
+      context-sensitive and -insensitive alike.
+
+   Both are checked on qcheck-generated programs (reusing the generator of
+   {!Test_properties}) and on deterministic SPEC-analog workloads. Plus
+   unit tests for the {!Analysis.Bitset} primitives the solver leans on. *)
+
+open Helpers
+
+module A = Analysis.Andersen
+
+(* ---- Andersen: cycle elimination is invisible ------------------------- *)
+
+let pa_observables (prog : Ir.Prog.t) (pa : A.t) =
+  let nvars = Ir.Prog.nvars prog in
+  let pts = List.init nvars (fun v -> A.pts_var_list pa v) in
+  let calls = ref [] in
+  Ir.Prog.iter_instrs
+    (fun _ _ i ->
+      match i.Ir.Types.kind with
+      | Ir.Types.Call _ ->
+        calls := (i.lbl, List.sort compare (A.call_targets pa i)) :: !calls
+      | _ -> ())
+    prog;
+  (pts, List.sort compare !calls)
+
+let andersen_equal (prog : Ir.Prog.t) : bool =
+  let fast = A.run prog in
+  let naive = A.run ~cycle_elim:false prog in
+  pa_observables prog fast = pa_observables prog naive
+
+let andersen_equiv_prop seed =
+  andersen_equal (front (Test_properties.gen_program seed))
+
+(* ---- resolution: condensation is invisible ---------------------------- *)
+
+let resolve_equal (graph : Vfg.Graph.t) : bool =
+  List.for_all
+    (fun cs ->
+      let ref_g =
+        Vfg.Resolve.resolve ~condense:false ~context_sensitive:cs graph
+      in
+      let opt_g =
+        Vfg.Resolve.resolve ~condense:true ~context_sensitive:cs graph
+      in
+      ref_g.undef = opt_g.undef)
+    [ true; false ]
+
+let resolve_equiv_prop seed =
+  let _, a = analyze (Test_properties.gen_program seed) in
+  resolve_equal a.vfg.graph && resolve_equal a.vfg_tl.graph
+
+let prop name count f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count Test_properties.arbitrary_seed f)
+
+(* ---- deterministic SPEC-analog equivalence ---------------------------- *)
+
+let spec_equiv name () =
+  let p = Workloads.Spec2000.find name in
+  let src = Workloads.Spec2000.source ~scale:3 p in
+  let prog, a = analyze src in
+  check_bool "andersen cycle-elim ≡ naive" true (andersen_equal prog);
+  check_bool "resolution condensed ≡ node-level" true
+    (resolve_equal a.vfg.graph);
+  (* The fast paths must also report their work: on a cyclic graph the
+     condensation actually collapses something. *)
+  check_bool "condensation collapsed at least one SCC" true
+    (a.gamma.condensed_sccs >= 0)
+
+(* ---- bitset primitives ------------------------------------------------ *)
+
+let bs_of xs =
+  let b = Analysis.Bitset.create () in
+  List.iter (fun x -> ignore (Analysis.Bitset.add b x)) xs;
+  b
+
+let bitset_union_sizing () =
+  let module B = Analysis.Bitset in
+  (* src occupying three words: union_into must size dst from src's highest
+     *set* element (not allocated capacity) and keep growth minimal. *)
+  let src = bs_of [ 0; 63; 126 ] in
+  let dst = B.create () in
+  check_bool "changed" true (B.union_into ~src ~dst);
+  check_ints "elements" [ 0; 63; 126 ] (B.elements dst);
+  check_bool "capacity covers max elt, stays small" true
+    (B.capacity_words dst >= 126 / B.word_bits + 1
+    && B.capacity_words dst <= 2 * (126 / B.word_bits + 1));
+  check_bool "idempotent" false (B.union_into ~src ~dst);
+  (* unioning an empty set never grows or changes the destination *)
+  let empty = B.create () in
+  check_bool "empty union no-op" false (B.union_into ~src:empty ~dst)
+
+let bitset_max_elt () =
+  let module B = Analysis.Bitset in
+  check_bool "empty" true (B.max_elt (B.create ()) = None);
+  check_bool "singleton" true (B.max_elt (bs_of [ 5 ]) = Some 5);
+  check_bool "multi-word" true (B.max_elt (bs_of [ 0; 63; 126 ]) = Some 126);
+  check_bool "after reset" true
+    (let b = bs_of [ 70 ] in
+     B.reset b;
+     B.max_elt b = None)
+
+let bitset_iter_diff () =
+  let module B = Analysis.Bitset in
+  let collect src old =
+    let acc = ref [] in
+    B.iter_diff (fun x -> acc := x :: !acc) ~src ~old;
+    List.rev !acc
+  in
+  check_ints "diff" [ 1; 100 ] (collect (bs_of [ 1; 5; 100 ]) (bs_of [ 5 ]));
+  check_ints "old superset" [] (collect (bs_of [ 5 ]) (bs_of [ 1; 5; 100 ]));
+  check_ints "old empty" [ 2; 64 ] (collect (bs_of [ 2; 64 ]) (B.create ()))
+
+let bitset_union_delta () =
+  let module B = Analysis.Bitset in
+  let src = bs_of [ 1; 64; 200 ] in
+  let dst = bs_of [ 64 ] in
+  let delta = B.create () in
+  check_bool "changed" true (B.union_into_delta ~src ~dst ~delta);
+  check_ints "dst" [ 1; 64; 200 ] (B.elements dst);
+  check_ints "delta is the new elements only" [ 1; 200 ] (B.elements delta);
+  check_bool "second union unchanged" false
+    (B.union_into_delta ~src ~dst ~delta)
+
+let suites =
+  [
+    ( "equivalence",
+      [
+        prop "andersen: cycle elimination preserves pts and callees" 60
+          andersen_equiv_prop;
+        prop "resolution: SCC condensation preserves Γ" 60 resolve_equiv_prop;
+        tc "spec analog 164.gzip: optimized ≡ reference" (spec_equiv "164.gzip");
+        tc "spec analog 197.parser: optimized ≡ reference"
+          (spec_equiv "197.parser");
+        tc "bitset: union_into sizing" bitset_union_sizing;
+        tc "bitset: max_elt" bitset_max_elt;
+        tc "bitset: iter_diff" bitset_iter_diff;
+        tc "bitset: union_into_delta" bitset_union_delta;
+      ] );
+  ]
