@@ -13,13 +13,20 @@
      dune exec bench/main.exe -- scale=60 fig10   -- override the input scale
    dune exec bench/main.exe -- --jobs 4 table1  -- run experiments on 4 domains
                                                    (also: jobs=4, or BENCH_JOBS)
+   dune exec bench/main.exe -- --trace t.json table1 -- also record a Chrome
+                                                   trace_event timeline
+                                                   (also: trace=t.json)
 
-   Every invocation also writes BENCH_usher.json (schema usher-bench/1):
-   per-phase wall times, peak heap, deterministic work counters and
-   per-variant instrumentation statistics for whatever artifacts ran; see
-   EXPERIMENTS.md. [--baseline FILE] fails the run if solve_iterations or
+   Every invocation also writes BENCH_usher.json (schema usher-bench/2):
+   per-phase wall times, peak heap, deterministic work counters, the
+   process-wide Obs.Metrics snapshot and per-variant instrumentation
+   statistics for whatever artifacts ran; see EXPERIMENTS.md.
+   [--baseline FILE] fails the run if solve_iterations or
    states_explored regressed >20%% against the checked-in counters;
-   [--update-baseline FILE] rewrites them.
+   [--update-baseline FILE] rewrites them. [--trace FILE] additionally
+   records every pipeline phase / function span, degradation instant and
+   GC sample into FILE (chrome://tracing / ui.perfetto.dev format);
+   tracing never changes tables, figures, or counters.
 
    Expected *shapes* (not absolute numbers) are printed next to each
    artifact; see EXPERIMENTS.md for the comparison against the paper. *)
@@ -37,18 +44,43 @@ let jobs =
 
 let baseline_file = ref None
 let update_baseline = ref None
+let trace_file : string option ref = ref None
 
 let profiles = Workloads.Spec2000.all
 
 (* The 15 analogs are independent: fan them out over a bounded domain pool.
-   [parallel_map] keeps results in input order and re-raises the earliest
-   failure, so output and exit status match the sequential run. *)
+   [parallel_map] keeps results in input order and fails fast on the first
+   failure, so output and exit status match the sequential run.
+
+   Worker domains must never write to stdout — concurrent writes from
+   domains interleave mid-line and garble the Table 1 / Figure 10 text.
+   Any per-program report a worker produces (degradation / quarantine
+   events) is rendered into a per-item buffer inside the worker and
+   printed here, in input order, after the join. *)
 let run_level level =
-  Exp.parallel_map ~jobs:!jobs
-    (fun (p : Workloads.Profile.t) ->
-      let src = Workloads.Spec2000.source ~scale:!scale p in
-      (p, src, Exp.run ~name:p.pname ~level src))
-    profiles
+  let ran =
+    Exp.parallel_map ~jobs:!jobs
+      (fun (p : Workloads.Profile.t) ->
+        let src = Workloads.Spec2000.source ~scale:!scale p in
+        let e = Exp.run ~name:p.pname ~level src in
+        let report = Buffer.create 64 in
+        List.iter
+          (fun ev ->
+            Buffer.add_string report "  ";
+            Buffer.add_string report (Usher.Degrade.to_string ev);
+            Buffer.add_char report '\n')
+          !(e.analysis.events);
+        (p, src, e, Buffer.contents report))
+      profiles
+  in
+  List.iter
+    (fun ((p : Workloads.Profile.t), _, _, report) ->
+      if report <> "" then
+        Printf.printf "%s (%s) degradation report:\n%s" p.pname
+          (Optim.Pipeline.level_to_string level)
+          report)
+    ran;
+  List.map (fun (p, src, e, _) -> (p, src, e)) ran
 
 let o0 = lazy (run_level Optim.Pipeline.O0_IM)
 let o1 = lazy (run_level Optim.Pipeline.O1)
@@ -317,7 +349,7 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_usher.json: a hand-rolled emitter — the container has no JSON
-   library and the schema (usher-bench/1, documented in EXPERIMENTS.md) is
+   library and the schema (usher-bench/2, documented in EXPERIMENTS.md) is
    small enough not to need one. *)
 
 type json =
@@ -419,17 +451,42 @@ let experiment_json (lvl, (p : Workloads.Profile.t), (e : Exp.t)) =
              e.results) );
     ]
 
+(* The Obs.Metrics registry snapshot: process-wide counters/gauges and
+   log2-bucket histograms accumulated by every phase that ran. *)
+let metrics_json () =
+  Jobj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Obs.Metrics.Counter n -> jint n
+           | Obs.Metrics.Gauge f -> jfloat f
+           | Obs.Metrics.Histogram { count; sum; buckets } ->
+             Jobj
+               [
+                 ("count", jint count);
+                 ("sum", jint sum);
+                 ( "buckets",
+                   Jarr
+                     (List.map
+                        (fun (lo, n) -> Jarr [ jint lo; jint n ])
+                        buckets) );
+               ] ))
+       (Obs.Metrics.snapshot ()))
+
 let write_bench_json ~wall ~cpu () =
   let j =
     Jobj
       [
-        ("schema", Jstr "usher-bench/1");
+        ("schema", Jstr "usher-bench/2");
         ("scale", jint !scale);
         ("jobs", jint !jobs);
+        ("traced", J (if !trace_file <> None then "true" else "false"));
         ("total_wall_s", jfloat wall);
         ("total_cpu_s", jfloat cpu);
         ("top_heap_words", jint (Gc.quick_stat ()).Gc.top_heap_words);
         ("experiments", Jarr (List.map experiment_json (collected_experiments ())));
+        ("metrics", metrics_json ());
         ("micro_ns", Jobj (List.map (fun (n, ns) -> (n, jfloat ns)) !micro_ns));
       ]
   in
@@ -508,6 +565,11 @@ let check_baseline file =
 
 (* ------------------------------------------------------------------ *)
 
+(* Each artifact runs under a top-level trace span, so a `--trace` timeline
+   reads artifact -> experiment -> pipeline phase -> function. *)
+let artifact name f =
+  Obs.Trace.with_span ~cat:"bench" ("bench." ^ name) f
+
 let () =
   let baseline_check = ref false in
   let rec parse = function
@@ -522,6 +584,9 @@ let () =
     | "--update-baseline" :: rest ->
       update_baseline := Some ();
       parse rest
+    | "--trace" :: f :: rest ->
+      trace_file := Some f;
+      parse rest
     | a :: rest -> (
       match String.index_opt a '=' with
       | Some i when String.sub a 0 i = "scale" ->
@@ -531,31 +596,53 @@ let () =
         jobs :=
           max 1 (int_of_string (String.sub a (i + 1) (String.length a - i - 1)));
         parse rest
+      | Some i when String.sub a 0 i = "trace" ->
+        trace_file := Some (String.sub a (i + 1) (String.length a - i - 1));
+        parse rest
       | _ -> a :: parse rest)
   in
   let args = parse (Array.to_list Sys.argv |> List.tl) in
+  (* Tracing must be armed before any lazy experiment can run (and before
+     worker domains spawn, so every domain records from its first event). *)
+  if !trace_file <> None then Obs.Trace.start ();
   let t0 = Sys.time () in
-  let w0 = Unix.gettimeofday () in
+  (* Monotonic wall clock: a clock step mid-run must not produce a
+     negative or inflated total. *)
+  let w0 = Obs.Clock.now_s () in
   (match args with
-  | [] -> List.iter (fun f -> f ()) [ table1; fig10; fig11; sec46; detect; ablation ]
+  | [] ->
+    List.iter
+      (fun (n, f) -> artifact n f)
+      [
+        ("table1", table1); ("fig10", fig10); ("fig11", fig11);
+        ("sec46", sec46); ("detect", detect); ("ablation", ablation);
+      ]
   | names ->
     List.iter
       (fun n ->
         match n with
-        | "table1" -> table1 ()
-        | "fig10" -> fig10 ()
-        | "fig11" -> fig11 ()
-        | "sec46" -> sec46 ()
-        | "detect" -> detect ()
-        | "ablation" -> ablation ()
-        | "micro" -> micro ()
+        | "table1" -> artifact n table1
+        | "fig10" -> artifact n fig10
+        | "fig11" -> artifact n fig11
+        | "sec46" -> artifact n sec46
+        | "detect" -> artifact n detect
+        | "ablation" -> artifact n ablation
+        | "micro" -> artifact n micro
         | other -> Printf.eprintf "unknown artifact %s\n" other)
       names);
   Printf.printf "\n(total bench time: %.1fs wall / %.1fs cpu at scale %d, jobs %d)\n"
-    (Unix.gettimeofday () -. w0)
+    (Obs.Clock.elapsed_s w0)
     (Sys.time () -. t0)
     !scale !jobs;
-  write_bench_json ~wall:(Unix.gettimeofday () -. w0) ~cpu:(Sys.time () -. t0) ();
+  write_bench_json ~wall:(Obs.Clock.elapsed_s w0) ~cpu:(Sys.time () -. t0) ();
+  (match !trace_file with
+  | None -> ()
+  | Some f ->
+    Obs.Trace.write f;
+    Printf.printf "(wrote Chrome trace to %s: %d event(s); open in \
+                   chrome://tracing or ui.perfetto.dev)\n"
+      f
+      (List.length (Obs.Trace.events ())));
   let bfile = Option.value !baseline_file ~default:"bench/baseline_counters.txt" in
   if !update_baseline <> None then write_baseline bfile
   else if !baseline_check then check_baseline bfile

@@ -121,6 +121,64 @@ let knobs_term =
   Term.(const knobs_of $ budget_ms_arg $ solver_fuel_arg $ vfg_cap_arg
         $ resolve_fuel_arg $ inject_arg $ quarantine_arg)
 
+(* ---- observability (lib/obs) ---- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace_event timeline — one span per \
+                 pipeline phase and per function, degradation/quarantine \
+                 instant events, periodic GC samples — and write it to \
+                 $(docv) on exit. Open the file in chrome://tracing or \
+                 https://ui.perfetto.dev. Off by default; tracing never \
+                 changes analysis results.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the process-wide metrics registry (work counters, \
+                 gauges, log2-bucket histograms) after the command.")
+
+let print_metrics () =
+  Printf.printf "metrics:\n";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Metrics.Counter n -> Printf.printf "  %-34s %d\n" name n
+      | Obs.Metrics.Gauge g -> Printf.printf "  %-34s %g\n" name g
+      | Obs.Metrics.Histogram { count; sum; buckets } ->
+        Printf.printf "  %-34s count %d sum %d buckets %s\n" name count sum
+          (String.concat " "
+             (List.map
+                (fun (lo, n) -> Printf.sprintf "%d:%d" lo n)
+                buckets)))
+    (Obs.Metrics.snapshot ())
+
+(** Run a command body under the requested observability: arm the tracer
+    before any analysis, write the trace file on the way out (even when
+    the command raises — a partial timeline of a crash is exactly when you
+    want one), and dump metrics last. *)
+let observed trace metrics (f : unit -> int) : int =
+  if trace <> None then Obs.Trace.start ();
+  let flush_trace () =
+    match trace with
+    | None -> ()
+    | Some path ->
+      Obs.Trace.write path;
+      Printf.printf "(wrote Chrome trace to %s; open in chrome://tracing or \
+                     ui.perfetto.dev)\n"
+        path
+  in
+  match f () with
+  | code ->
+    flush_trace ();
+    if metrics then print_metrics ();
+    code
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    flush_trace ();
+    Printexc.raise_with_backtrace e bt
+
 (* Report what the resilience ladder did, if anything. *)
 let print_degradation (a : Usher.Pipeline.analysis)
     (front_events : Usher.Degrade.event list) =
@@ -148,7 +206,8 @@ let dump_arg =
 (* ---- analyze ---- *)
 
 let analyze_cmd =
-  let run file level variant dumps knobs =
+  let run file level variant dumps knobs trace metrics =
+    observed trace metrics @@ fun () ->
     let src = read_file file in
     let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
     let a = Usher.Pipeline.analyze ~knobs prog in
@@ -215,12 +274,14 @@ let analyze_cmd =
     0
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Statically analyze a TinyC program")
-    Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg $ knobs_term)
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ dump_arg $ knobs_term
+          $ trace_arg $ metrics_arg)
 
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file level variant knobs =
+  let run file level variant knobs trace metrics =
+    observed trace metrics @@ fun () ->
     let src = read_file file in
     let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
     let a = Usher.Pipeline.analyze ~knobs prog in
@@ -261,7 +322,8 @@ let run_cmd =
        ~doc:"Execute a TinyC program under instrumentation. Exits 0 when \
              clean, 3 when a use of an undefined value is detected, 4 when \
              a ground-truth undefined use escapes the instrumentation.")
-    Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term)
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term
+          $ trace_arg $ metrics_arg)
 
 (* ---- gen ---- *)
 
@@ -283,7 +345,8 @@ let gen_cmd =
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run name scale level knobs =
+  let run name scale level knobs trace metrics =
+    observed trace metrics @@ fun () ->
     let p = Workloads.Spec2000.find name in
     let src = Workloads.Spec2000.source ~scale p in
     match Usher.Experiment.run ~name ~level ~knobs src with
@@ -318,12 +381,15 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Run one SPEC2000 analog end to end. Exits 0 when clean, 3 when \
              undefined uses are detected, 4 on a soundness divergence.")
-    Term.(const run $ name_arg $ scale_arg $ level_arg $ knobs_term)
+    Term.(const run $ name_arg $ scale_arg $ level_arg $ knobs_term
+          $ trace_arg $ metrics_arg)
 
 (* ---- audit ---- *)
 
 let audit_cmd =
-  let run corpus scale mutants seed budget_ms dir hole no_reduce quiet level =
+  let run corpus scale mutants seed budget_ms dir hole no_reduce quiet level
+      trace metrics =
+    observed trace metrics @@ fun () ->
     let profiles =
       match corpus with
       | [] -> Workloads.Spec2000.all
@@ -413,7 +479,7 @@ let audit_cmd =
              incident was captured, 0 otherwise.")
     Term.(const run $ corpus_arg $ scale_arg $ mutants_arg $ seed_arg
           $ budget_ms_arg $ dir_arg $ hole_arg $ no_reduce_arg $ quiet_arg
-          $ level_arg)
+          $ level_arg $ trace_arg $ metrics_arg)
 
 let main =
   Cmd.group

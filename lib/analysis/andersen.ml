@@ -289,6 +289,14 @@ let stub (p : P.t) : t =
 
 let word_bits = Bitset.word_bits
 
+(* Process-wide work totals (Obs.Metrics): the per-run counters stay the
+   source of truth for tables and baselines; these registry counters let
+   the bench harness attribute aggregate solver work across a whole run. *)
+let m_runs = Obs.Metrics.counter "andersen.runs"
+let m_solve_iterations = Obs.Metrics.counter "andersen.solve_iterations"
+let m_sccs_collapsed = Obs.Metrics.counter "andersen.sccs_collapsed"
+let m_edges_deduped = Obs.Metrics.counter "andersen.edges_deduped"
+
 let run ?(config = default_config) ?(cycle_elim = true) ?budget (p : P.t) : t =
   let taken, callsites = collect_taken_and_callsites p in
   let wrappers = Hashtbl.create 8 in
@@ -590,6 +598,14 @@ let run ?(config = default_config) ?(cycle_elim = true) ?budget (p : P.t) : t =
   let dscratch = Array.make wpn 0 in
   while !whead < !wtail do
     incr iterations;
+    (* Sampled solver-progress counter for the trace timeline; the enabled
+       check keeps the untraced hot loop allocation-free. *)
+    if Obs.Trace.enabled () && !iterations land 4095 = 1 then
+      Obs.Trace.counter ~cat:"andersen" "andersen.worklist"
+        [
+          ("iterations", Obs.Trace.Int !iterations);
+          ("queued", Obs.Trace.Int (!wtail - !whead));
+        ];
     (match budget with
     | Some b -> Diag.Budget.burn_solver b Diag.Andersen
     | None -> ());
@@ -687,6 +703,13 @@ let run ?(config = default_config) ?(cycle_elim = true) ?budget (p : P.t) : t =
   for i = 0 to nnodes - 1 do
     if repr.(i) < 0 then repr.(i) <- i
   done;
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_solve_iterations !iterations;
+  Obs.Metrics.add m_sccs_collapsed !sccs_collapsed;
+  Obs.Metrics.add m_edges_deduped !edges_deduped;
+  if Obs.Trace.enabled () then
+    Obs.Trace.counter ~cat:"andersen" "andersen.worklist"
+      [ ("iterations", Obs.Trace.Int !iterations); ("queued", Obs.Trace.Int 0) ];
   {
     prog = p;
     objects;

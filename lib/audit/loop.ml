@@ -215,13 +215,22 @@ let audit_subject cfg ~knobs ~(seed : int) ~(mutation : string) (src : string) :
       report.divergences;
     Ok (List.rev !incidents, List.rev !entries, !healed)
 
+(* Observability: audited-subject / incident totals, plus instant trace
+   events per captured incident (category "audit"). *)
+let m_subjects = Obs.Metrics.counter "audit.subjects"
+let m_skipped = Obs.Metrics.counter "audit.skipped"
+let m_incidents = Obs.Metrics.counter "audit.incidents"
+let m_healed = Obs.Metrics.counter "audit.healed"
+
 let run (cfg : config) : summary =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic clock: the audit time-box must not be stretched or blown by
+     a wall-clock step. *)
+  let t0 = Obs.Clock.now_s () in
   let deadline =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) cfg.budget_ms
   in
   let out_of_time () =
-    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    match deadline with Some d -> Obs.Clock.now_s () > d | None -> false
   in
   let programs = ref 0 and mutants_run = ref 0 and skipped = ref 0 in
   let incidents = ref [] and quarantined = ref [] and healed = ref 0 in
@@ -229,12 +238,26 @@ let run (cfg : config) : summary =
   (* Quarantine entries accumulated this run apply to later subjects too. *)
   let knobs = ref (Quarantine.apply_dir cfg.dir cfg.knobs) in
   let audit ~seed ~mutation src counter =
+    Obs.Metrics.incr m_subjects;
     match audit_subject cfg ~knobs:!knobs ~seed ~mutation src with
     | Error e ->
       incr skipped;
+      Obs.Metrics.incr m_skipped;
       cfg.log (Printf.sprintf "skipped (%s)" e)
     | Ok (incs, entries, h) ->
       incr counter;
+      Obs.Metrics.add m_incidents (List.length incs);
+      Obs.Metrics.add m_healed h;
+      List.iter
+        (fun (i : Incident.t) ->
+          Obs.Trace.instant ~cat:"audit"
+            ~args:
+              [
+                ("variant", Obs.Trace.Str i.variant);
+                ("kind", Obs.Trace.Str (Incident.kind_name i.kind));
+              ]
+            ("incident." ^ i.id))
+        incs;
       incidents := !incidents @ incs;
       healed := !healed + h;
       let fresh = Quarantine.add cfg.dir entries in
@@ -248,6 +271,7 @@ let run (cfg : config) : summary =
     (fun (prof : Workloads.Profile.t) ->
       if !stopped || out_of_time () then stopped := true
       else begin
+        Obs.Trace.with_span ~cat:"audit" ("audit." ^ prof.pname) @@ fun () ->
         cfg.log (Printf.sprintf "auditing %s (scale %d)" prof.pname cfg.scale);
         let base_src = Workloads.Gen.generate ~scale:cfg.scale prof in
         audit ~seed:prof.seed ~mutation:"" base_src programs;

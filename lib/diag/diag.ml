@@ -114,7 +114,9 @@ module Budget = struct
   let poll_mask = 63
 
   let make ?clock ?budget_ms ?solver_fuel ?resolve_fuel ?vfg_node_cap () : t =
-    let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+    (* Deadlines are measured on the monotonic clock: a wall-clock step
+       (NTP, operator) must never spuriously blow — or extend — a budget. *)
+    let clock = match clock with Some c -> c | None -> Obs.Clock.now_s in
     let deadline =
       match budget_ms with
       | Some ms -> Some (clock () +. (float_of_int ms /. 1000.0))

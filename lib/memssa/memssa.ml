@@ -256,7 +256,7 @@ let build ?budget ?hook ?on_fault (p : P.t) (pa : Analysis.Andersen.t)
   let funcs = Hashtbl.create 16 in
   P.iter_funcs
     (fun f ->
-      let fs =
+      let compute () =
         match on_fault with
         | None ->
           (match hook with Some h -> h f.fname | None -> ());
@@ -274,6 +274,12 @@ let build ?budget ?hook ?on_fault (p : P.t) (pa : Analysis.Andersen.t)
           with e ->
             report f.fname e;
             empty_func_ssa f.fname)
+      in
+      (* One span per function when tracing; exactly [compute ()] otherwise. *)
+      let fs =
+        if Obs.Trace.enabled () then
+          Obs.Trace.with_span ~cat:"memssa" ("memssa." ^ f.fname) compute
+        else compute ()
       in
       Hashtbl.replace funcs f.fname fs)
     p;

@@ -397,6 +397,13 @@ let as_int (v : value) : int =
   | Vptr (o, off) -> (o lsl 20) lor (off land 0xfffff)
   | Vfun _ -> 1
 
+(* Process-wide dynamic-work totals (Obs.Metrics), published once per run;
+   the per-outcome [Counters.t] stays the cost model's input. *)
+let m_runs = Obs.Metrics.counter "interp.runs"
+let m_base_ops = Obs.Metrics.counter "interp.base_ops"
+let m_shadow_ops = Obs.Metrics.counter "interp.shadow_ops"
+let m_detections = Obs.Metrics.counter "interp.detections"
+
 let run ?(limits = default_limits) (cp : cprog) : outcome =
   let st =
     {
@@ -670,7 +677,16 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
     exec_actions f.entry_acts;
     block 0
   in
-  let r = call cp.main [||] ~depth:0 in
+  let r =
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span ~cat:"interp" "interp.run" (fun () ->
+          call cp.main [||] ~depth:0)
+    else call cp.main [||] ~depth:0
+  in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_base_ops (Counters.base_ops st.cnt);
+  Obs.Metrics.add m_shadow_ops (Counters.shadow_ops st.cnt);
+  Obs.Metrics.add m_detections (Hashtbl.length st.det);
   {
     outputs = List.rev st.outputs_rev;
     exit_value = as_int r;

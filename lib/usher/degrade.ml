@@ -22,6 +22,36 @@ type event = {
   kind : kind;           (* why: an internal fault, or an audit quarantine *)
 }
 
+(* Every step down the ladder is also observable: a metrics counter and —
+   when tracing — an instant trace event, so "which function tripped the
+   ladder and when" is answerable from the timeline, not printf
+   archaeology. Every producer of an [event] (pipeline, front end,
+   plan_for) funnels through [observe]. *)
+let m_events = Obs.Metrics.counter "pipeline.degrade_events"
+let m_quarantined = Obs.Metrics.counter "pipeline.quarantine_events"
+
+let observe (e : event) : unit =
+  Obs.Metrics.incr m_events;
+  (match e.kind with
+  | Quarantined _ -> Obs.Metrics.incr m_quarantined
+  | Fault -> ());
+  if Obs.Trace.enabled () then begin
+    let cat, name =
+      match e.kind with
+      | Fault -> ("degrade", "degrade." ^ Diag.phase_name e.phase)
+      | Quarantined inc -> ("quarantine", "quarantine." ^ inc)
+    in
+    Obs.Trace.instant ~cat
+      ~args:
+        [
+          ("phase", Obs.Trace.Str (Diag.phase_name e.phase));
+          ("func", Obs.Trace.Str (Option.value ~default:"" e.func));
+          ("action", Obs.Trace.Str e.action);
+          ("diag", Obs.Trace.Str (Diag.to_string e.diag));
+        ]
+      name
+  end
+
 let to_string (e : event) : string =
   let tag =
     match e.kind with

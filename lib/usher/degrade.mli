@@ -15,4 +15,10 @@ type event = {
   kind : kind;
 }
 
+val observe : event -> unit
+(** Publish the event to the observability layer: bump the
+    [pipeline.degrade_events] / [pipeline.quarantine_events] metrics and,
+    when tracing is on, emit an instant trace event (category [degrade]
+    or [quarantine]). Every producer of an [event] calls this. *)
+
 val to_string : event -> string

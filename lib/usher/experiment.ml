@@ -60,6 +60,10 @@ let covered (prog : Ir.Prog.t) (detections : (Ir.Types.label, unit) Hashtbl.t)
 let run ?(name = "program") ?(level = Optim.Pipeline.O0_IM)
     ?(knobs = Config.default_knobs) ?(variants = Config.all_variants)
     ?(check_soundness = true) ?limits (src : string) : t =
+  Obs.Trace.with_span ~cat:"experiment"
+    ~args:[ ("level", Obs.Trace.Str (Optim.Pipeline.level_to_string level)) ]
+    ("experiment." ^ name)
+  @@ fun () ->
   let prog, front_events = Pipeline.front_guarded ~level ~knobs src in
   let analysis = Pipeline.analyze ~knobs prog in
   analysis.events := front_events @ !(analysis.events);
@@ -125,21 +129,38 @@ let result_for (t : t) (v : Config.variant) : variant_result =
 (* Bounded-pool parallel map over OCaml 5 domains. Items are claimed from
    an atomic next-index counter; each slot of [results] is written by
    exactly one domain, so the only synchronization needed is the joins.
-   Results keep input order, and the earliest failing input's exception is
-   re-raised after every domain has joined — so the outcome (values or
-   exception) is deterministic even though scheduling is not. *)
+   Results keep input order.
+
+   Failure handling: fail-fast — the first recorded failure stops every
+   worker from claiming new items (in-flight items still finish, so no
+   domain is killed mid-write). After the joins, the failure at the lowest
+   input index that actually ran is re-raised *with the worker's
+   backtrace* ([Printexc.raise_with_backtrace]; a bare [raise] here would
+   replace the worker's trace with the caller's). Which trailing items
+   were skipped depends on scheduling, but the success outcome and the
+   raised exception's provenance do not. *)
 let parallel_map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let input = Array.of_list xs in
   let n = Array.length input in
   if jobs <= 1 || n <= 1 then List.map f xs
   else begin
-    let results : ('b, exn) result option array = Array.make n None in
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
     let next = Atomic.make 0 in
+    let failed = Atomic.make false in
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (try Ok (f input.(i)) with e -> Error e);
-        worker ()
+      if not (Atomic.get failed) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f input.(i) with
+          | r -> results.(i) <- Some (Ok r)
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            results.(i) <- Some (Error (e, bt));
+            Atomic.set failed true);
+          worker ()
+        end
       end
     in
     (* The calling domain is one of the pool. *)
@@ -148,9 +169,13 @@ let parallel_map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
     in
     worker ();
     List.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
     Array.to_list results
     |> List.map (function
          | Some (Ok r) -> r
-         | Some (Error e) -> raise e
-         | None -> assert false)
+         | Some (Error _) | None -> assert false)
   end

@@ -51,8 +51,10 @@ val result_for : t -> Config.variant -> variant_result
 (** [parallel_map ~jobs f xs] maps [f] over [xs] on up to [jobs] domains
     (default 1 = plain [List.map]). Work items are claimed from an atomic
     counter; results come back in input order regardless of completion
-    order, and if any application raised, the exception of the earliest
-    input that failed is re-raised after all domains joined. [f] must be
-    safe to run concurrently with itself — experiment runs are: every
-    mutable artifact hangs off the per-run program. *)
+    order. Failure is fail-fast: once any application raises, no new items
+    are handed out (in-flight items finish); after all domains joined, the
+    failure at the lowest input index that ran is re-raised with the
+    worker's own backtrace. [f] must be safe to run concurrently with
+    itself — experiment runs are: every mutable artifact hangs off the
+    per-run program. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

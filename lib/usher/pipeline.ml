@@ -47,7 +47,12 @@ type analysis = {
   events : Degrade.event list ref;    (* the ladder's audit trail, in order *)
 }
 
+(* Per-phase wall time distribution (microseconds, log2 buckets), across
+   every analysis in the process — the bench harness snapshots it. *)
+let m_phase_us = Obs.Metrics.histogram "pipeline.phase_us"
+
 let front ?(level = Optim.Pipeline.O0_IM) (src : string) : Ir.Prog.t =
+  Obs.Trace.with_span ~cat:"pipeline" "phase.frontend" @@ fun () ->
   let prog = Tinyc.Lower.compile src in
   Optim.Pipeline.run level prog;
   prog
@@ -60,6 +65,7 @@ let front ?(level = Optim.Pipeline.O0_IM) (src : string) : Ir.Prog.t =
 let front_guarded ?(level = Optim.Pipeline.O0_IM)
     ?(knobs = Config.default_knobs) (src : string) :
     Ir.Prog.t * Degrade.event list =
+  Obs.Trace.with_span ~cat:"pipeline" "phase.frontend" @@ fun () ->
   let prog = Tinyc.Lower.compile src in
   try
     Fault.check knobs Diag.Optim None;
@@ -67,18 +73,20 @@ let front_guarded ?(level = Optim.Pipeline.O0_IM)
     (prog, [])
   with e ->
     let d = Diag.of_exn Diag.Optim e in
-    ( Tinyc.Lower.compile src,
-      [
-        {
-          Degrade.phase = Diag.Optim;
-          func = None;
-          action = "optimizer disabled; fresh unoptimized lowering";
-          diag = d;
-          kind = Degrade.Fault;
-        };
-      ] )
+    let ev =
+      {
+        Degrade.phase = Diag.Optim;
+        func = None;
+        action = "optimizer disabled; fresh unoptimized lowering";
+        diag = d;
+        kind = Degrade.Fault;
+      }
+    in
+    Degrade.observe ev;
+    (Tinyc.Lower.compile src, [ ev ])
 
 let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
+  Obs.Trace.with_span ~cat:"pipeline" "pipeline.analyze" @@ fun () ->
   let t0 = Sys.time () in
   let heap0 = (Gc.quick_stat ()).Gc.heap_words in
   let budget = Budget.of_knobs knobs in
@@ -86,16 +94,24 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
   let distrusted : (Ir.Types.fname, Diag.t) Hashtbl.t = Hashtbl.create 4 in
   let degraded_all = ref false in
   (* Wall-clock per-phase timing (Sys.time above stays the CPU-time total
-     Table 1 reports). Wrapping outside the fault guard charges fallback
-     work to the phase that degraded. *)
+     Table 1 reports). Monotonic clock, clamped at >= 0: a wall-clock step
+     must never flow negative phase times into BENCH_usher.json or budget
+     checks. Wrapping outside the fault guard charges fallback work to the
+     phase that degraded; each phase is also a trace span and a sample in
+     the pipeline.phase_us histogram. *)
   let phase_times : (string * float) list ref = ref [] in
   let timed name f =
-    let w0 = Unix.gettimeofday () in
-    let r = f () in
-    phase_times := (name, Unix.gettimeofday () -. w0) :: !phase_times;
+    let w0 = Obs.Clock.now_ns () in
+    let r = Obs.Trace.with_span ~cat:"pipeline" ("phase." ^ name) f in
+    let dt_ns = Obs.Clock.elapsed_ns w0 in
+    Obs.Metrics.observe m_phase_us (dt_ns / 1000);
+    phase_times := (name, float_of_int dt_ns *. 1e-9) :: !phase_times;
     r
   in
-  let push ev = events := !events @ [ ev ] in
+  let push ev =
+    Degrade.observe ev;
+    events := !events @ [ ev ]
+  in
   let distrust phase fname exn =
     let d = Diag.of_exn phase exn in
     if not (Hashtbl.mem distrusted fname) then begin
@@ -333,6 +349,8 @@ let distrusted_functions (a : analysis) : string list =
     variant's plan IS full instrumentation. *)
 let plan_for (a : analysis) (v : Config.variant) :
     Instr.Item.plan * Instr.Guided.result option =
+  Obs.Trace.with_span ~cat:"pipeline" ("plan." ^ Config.variant_name v)
+  @@ fun () ->
   let full () = (Instr.Full.build a.prog, None) in
   let distrust_set =
     if Hashtbl.length a.distrusted = 0 then None
@@ -351,18 +369,18 @@ let plan_for (a : analysis) (v : Config.variant) :
       in
       (r.plan, Some r)
     with e ->
-      a.events :=
-        !(a.events)
-        @ [
-            {
-              Degrade.phase = Diag.Instrument;
-              func = None;
-              action =
-                Config.variant_name v ^ " plan degraded to full instrumentation";
-              diag = Diag.of_exn Diag.Instrument e;
-              kind = Degrade.Fault;
-            };
-          ];
+      let ev =
+        {
+          Degrade.phase = Diag.Instrument;
+          func = None;
+          action =
+            Config.variant_name v ^ " plan degraded to full instrumentation";
+          diag = Diag.of_exn Diag.Instrument e;
+          kind = Degrade.Fault;
+        }
+      in
+      Degrade.observe ev;
+      a.events := !(a.events) @ [ ev ];
       full ()
   in
   match v with

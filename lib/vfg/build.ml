@@ -389,15 +389,21 @@ let build ?(config = default_config) ?budget ?hook ?on_fault (p : P.t)
           Diag.Budget.check_nodes b Diag.Vfg_build (Graph.nnodes g)
         | None -> ()
       in
-      match on_fault with
-      | None ->
-        pre ();
-        process_func f
-      | Some report -> (
-        try
+      let compute () =
+        match on_fault with
+        | None ->
           pre ();
           process_func f
-        with e -> report f.fname e))
+        | Some report -> (
+          try
+            pre ();
+            process_func f
+          with e -> report f.fname e)
+      in
+      (* One span per function when tracing; exactly [compute ()] otherwise. *)
+      if Obs.Trace.enabled () then
+        Obs.Trace.with_span ~cat:"vfg" ("vfg." ^ f.fname) compute
+      else compute ())
     p;
   {
     graph = g;

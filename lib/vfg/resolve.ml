@@ -19,6 +19,13 @@
 
 type ctx = Cany | Cat of Ir.Types.label
 
+(* Process-wide work totals (Obs.Metrics): the per-run counters in [gamma]
+   stay the source of truth for tables and baselines; the registry lets
+   the bench harness attribute aggregate resolution work across a run. *)
+let m_runs = Obs.Metrics.counter "resolve.runs"
+let m_states_explored = Obs.Metrics.counter "resolve.states_explored"
+let m_condensed_sccs = Obs.Metrics.counter "resolve.condensed_sccs"
+
 type gamma = {
   undef : Bytes.t;           (* Γ(v) = ⊥; one byte per node *)
   states_explored : int;
@@ -42,6 +49,13 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
     match budget with
     | Some b -> Diag.Budget.burn_resolve b Diag.Resolve
     | None -> ()
+  in
+  (* Sampled search-progress counter for the trace timeline; the enabled
+     check keeps the untraced hot loop allocation-free. *)
+  let sample () =
+    if Obs.Trace.enabled () && !states land 4095 = 1 then
+      Obs.Trace.counter ~cat:"resolve" "resolve.search"
+        [ ("states", Obs.Trace.Int !states) ]
   in
   (if seeds <> [] then
      if condense then begin
@@ -81,6 +95,7 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
            let v = Array.unsafe_get !buf !head in
            incr head;
            incr states;
+           sample ();
            burn ();
            for i = Array.unsafe_get c.cpred_off v
                 to Array.unsafe_get c.cpred_off (v + 1) - 1 do
@@ -160,6 +175,7 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
            let st = Array.unsafe_get !buf !head in
            incr head;
            incr states;
+           sample ();
            burn ();
            let v = st lsr shift in
            let ctx = st land mask in
@@ -198,6 +214,7 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
        while not (Queue.is_empty work) do
          let v = Queue.pop work in
          incr states;
+         sample ();
          burn ();
          List.iter
            (fun (u, _) ->
@@ -234,6 +251,7 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
        while not (Queue.is_empty work) do
          let v, ctx = Queue.pop work in
          incr states;
+         sample ();
          burn ();
          (* If Cany arrived after this Cat state was queued, skip: Cany will
             (or did) explore strictly more. *)
@@ -256,6 +274,9 @@ let reach ?(context_sensitive = true) ?(condense = true) ?budget
              (Graph.preds graph v)
        done
      end);
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_states_explored !states;
+  Obs.Metrics.add m_condensed_sccs !condensed;
   { undef; states_explored = !states; condensed_sccs = !condensed }
 
 let resolve ?context_sensitive ?condense ?budget (graph : Graph.t) : gamma =

@@ -15,4 +15,5 @@ let () =
     @ Test_optim.suites @ Test_memssa.suites @ Test_vfg.suites
     @ Test_instr.suites @ Test_interp.suites @ Test_workloads.suites
     @ Test_opts.suites @ Test_misc.suites @ Test_properties.suites
-    @ Test_faults.suites @ Test_audit.suites @ Test_equiv.suites)
+    @ Test_faults.suites @ Test_audit.suites @ Test_equiv.suites
+    @ Test_obs.suites)
