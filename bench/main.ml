@@ -16,11 +16,16 @@
    dune exec bench/main.exe -- --trace t.json table1 -- also record a Chrome
                                                    trace_event timeline
                                                    (also: trace=t.json)
+   dune exec bench/main.exe -- --verify table1   -- run the lib/verify
+                                                   certificate checkers over
+                                                   every analysis (also:
+                                                   verify=true)
 
-   Every invocation also writes BENCH_usher.json (schema usher-bench/2):
+   Every invocation also writes BENCH_usher.json (schema usher-bench/3):
    per-phase wall times, peak heap, deterministic work counters, the
-   process-wide Obs.Metrics snapshot and per-variant instrumentation
-   statistics for whatever artifacts ran; see EXPERIMENTS.md.
+   process-wide Obs.Metrics snapshot, per-variant instrumentation
+   statistics and (under --verify) per-checker certificate times and
+   violation counts for whatever artifacts ran; see EXPERIMENTS.md.
    [--baseline FILE] fails the run if solve_iterations or
    states_explored regressed >20%% against the checked-in counters;
    [--update-baseline FILE] rewrites them. [--trace FILE] additionally
@@ -45,6 +50,9 @@ let jobs =
 let baseline_file = ref None
 let update_baseline = ref None
 let trace_file : string option ref = ref None
+let verify = ref false
+
+let bench_knobs () = { Cfg.default_knobs with verify = !verify }
 
 let profiles = Workloads.Spec2000.all
 
@@ -62,7 +70,7 @@ let run_level level =
     Exp.parallel_map ~jobs:!jobs
       (fun (p : Workloads.Profile.t) ->
         let src = Workloads.Spec2000.source ~scale:!scale p in
-        let e = Exp.run ~name:p.pname ~level src in
+        let e = Exp.run ~name:p.pname ~level ~knobs:(bench_knobs ()) src in
         let report = Buffer.create 64 in
         List.iter
           (fun ev ->
@@ -244,7 +252,7 @@ let ablation () =
         let u = (Exp.result_for e Cfg.Usher_full).static_stats.checks in
         100.0 *. float_of_int u /. float_of_int (max 1 m)
       in
-      let d = Cfg.default_knobs in
+      let d = bench_knobs () in
       Printf.printf "%-13s %9.1f | %10.1f %9.1f %9.1f %9.1f | %10.1f\n" name
         (usher d)
         (usher { d with semi_strong = false })
@@ -349,7 +357,7 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_usher.json: a hand-rolled emitter — the container has no JSON
-   library and the schema (usher-bench/2, documented in EXPERIMENTS.md) is
+   library and the schema (usher-bench/3, documented in EXPERIMENTS.md) is
    small enough not to need one. *)
 
 type json =
@@ -437,6 +445,18 @@ let experiment_json (lvl, (p : Workloads.Profile.t), (e : Exp.t)) =
       ("condensed_sccs", jint a.gamma.condensed_sccs);
       ("vfg_nodes", jint (Vfg.Graph.nnodes a.vfg.graph));
       ("vfg_edges", jint (Vfg.Graph.nedges a.vfg.graph));
+      ( "verify",
+        Jarr
+          (List.map
+             (fun (r : Verify.Report.t) ->
+               Jobj
+                 [
+                   ("checker", Jstr r.checker);
+                   ("wall_s", jfloat r.wall_s);
+                   ("facts", jint r.checked);
+                   ("violations", jint (Verify.Report.nviolations r));
+                 ])
+             a.verify_reports) );
       ( "variants",
         Jarr
           (List.map
@@ -478,10 +498,11 @@ let write_bench_json ~wall ~cpu () =
   let j =
     Jobj
       [
-        ("schema", Jstr "usher-bench/2");
+        ("schema", Jstr "usher-bench/3");
         ("scale", jint !scale);
         ("jobs", jint !jobs);
         ("traced", J (if !trace_file <> None then "true" else "false"));
+        ("verified", J (if !verify then "true" else "false"));
         ("total_wall_s", jfloat wall);
         ("total_cpu_s", jfloat cpu);
         ("top_heap_words", jint (Gc.quick_stat ()).Gc.top_heap_words);
@@ -587,6 +608,9 @@ let () =
     | "--trace" :: f :: rest ->
       trace_file := Some f;
       parse rest
+    | "--verify" :: rest ->
+      verify := true;
+      parse rest
     | a :: rest -> (
       match String.index_opt a '=' with
       | Some i when String.sub a 0 i = "scale" ->
@@ -598,6 +622,10 @@ let () =
         parse rest
       | Some i when String.sub a 0 i = "trace" ->
         trace_file := Some (String.sub a (i + 1) (String.length a - i - 1));
+        parse rest
+      | Some i when String.sub a 0 i = "verify" ->
+        verify :=
+          bool_of_string (String.sub a (i + 1) (String.length a - i - 1));
         parse rest
       | _ -> a :: parse rest)
   in

@@ -2,17 +2,20 @@
 
      usherc analyze FILE   static analysis: stats, optional artifact dumps
      usherc run FILE       execute under a chosen instrumentation variant
+     usherc check FILE     certificate check: independently re-verify the
+                           points-to, memory-SSA and VFG/Γ results
      usherc gen NAME       print a SPEC2000-analog TinyC source
      usherc bench NAME     one benchmark end to end (all variants)
      usherc audit          differential soundness audit over the corpus
 
    Programs are TinyC sources (see README).
 
-   Exit codes (run, bench, audit):
+   Exit codes (run, bench, audit, check):
      0  clean
      3  a use of an undefined value was detected
      4  soundness divergence: a ground-truth undefined use escaped the
-        instrumentation (or, for audit, any captured soundness incident) *)
+        instrumentation (or, for audit, any captured soundness incident)
+     5  a certificate checker rejected a static-analysis result *)
 
 open Cmdliner
 
@@ -89,11 +92,15 @@ let fault_conv =
 
 let inject_arg =
   Arg.(value & opt_all fault_conv []
-       & info [ "inject" ] ~docv:"PHASE[:FUNC][=crash|exhaust]"
-           ~doc:"Inject a fault at a phase boundary (repeatable); the \
-                 pipeline must degrade, not crash. Phases: optim, andersen, \
-                 callgraph, modref, memssa, vfg_build, resolve, opt2, \
-                 instrument.")
+       & info [ "inject" ]
+           ~docv:"PHASE[:FUNC][=crash|exhaust|pts-bitflip|drop-vfg-edge|gamma-flip]"
+           ~doc:"Inject a fault (repeatable). crash/exhaust fire at a phase \
+                 boundary and the pipeline must degrade, not crash; the \
+                 corruption kinds silently damage a finished artifact \
+                 (andersen=pts-bitflip, vfg=drop-vfg-edge, \
+                 resolve=gamma-flip), which the certificate checkers must \
+                 catch. Phases: optim, andersen, callgraph, modref, memssa, \
+                 vfg, resolve, opt2, instrument, verify.")
 
 let quarantine_arg =
   Arg.(value & opt (some string) None
@@ -102,7 +109,18 @@ let quarantine_arg =
                  (quarantine.list, as written by usherc audit); every \
                  listed function is forced onto full instrumentation.")
 
-let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject quarantine =
+let verify_arg =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run the certificate checkers (lib/verify) after each \
+                 pipeline phase: replayed constraints for points-to, \
+                 memory-SSA well-formedness, VFG structure and Γ \
+                 fixpointness. A rejected certificate degrades soundly \
+                 (function distrust or full instrumentation) instead of \
+                 trusting the result.")
+
+let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel verify inject quarantine
+    =
   let knobs =
     {
       Usher.Config.default_knobs with
@@ -110,6 +128,7 @@ let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject quarantine =
       solver_fuel;
       vfg_node_cap = vfg_cap;
       resolve_fuel;
+      verify;
       inject;
     }
   in
@@ -119,7 +138,7 @@ let knobs_of budget_ms solver_fuel vfg_cap resolve_fuel inject quarantine =
 
 let knobs_term =
   Term.(const knobs_of $ budget_ms_arg $ solver_fuel_arg $ vfg_cap_arg
-        $ resolve_fuel_arg $ inject_arg $ quarantine_arg)
+        $ resolve_fuel_arg $ verify_arg $ inject_arg $ quarantine_arg)
 
 (* ---- observability (lib/obs) ---- *)
 
@@ -179,9 +198,16 @@ let observed trace metrics (f : unit -> int) : int =
     flush_trace ();
     Printexc.raise_with_backtrace e bt
 
+(* Per-checker certificate summaries (--verify). *)
+let print_verify_reports (reports : Verify.Report.t list) =
+  List.iter
+    (fun r -> Printf.printf "verify: %s\n" (Verify.Report.summary_line r))
+    reports
+
 (* Report what the resilience ladder did, if anything. *)
 let print_degradation (a : Usher.Pipeline.analysis)
     (front_events : Usher.Degrade.event list) =
+  print_verify_reports a.verify_reports;
   List.iter
     (fun e -> Printf.printf "%s\n" (Usher.Degrade.to_string e))
     (front_events @ !(a.events));
@@ -323,6 +349,111 @@ let run_cmd =
              clean, 3 when a use of an undefined value is detected, 4 when \
              a ground-truth undefined use escapes the instrumentation.")
     Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term
+          $ trace_arg $ metrics_arg)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run file level knobs incident_dir trace metrics =
+    observed trace metrics @@ fun () ->
+    let src = read_file file in
+    let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
+    let a = Usher.Pipeline.analyze ~knobs prog in
+    print_degradation a front_events;
+    if a.degraded_all then begin
+      (* Rung 4 left no static results in use — there is nothing to
+         certify, and full instrumentation is sound by construction. *)
+      Printf.printf
+        "check: analysis degraded to full instrumentation; no static \
+         certificates in use\n";
+      0
+    end
+    else begin
+      let skip fn = Hashtbl.mem a.distrusted fn in
+      let forced = Hashtbl.length a.distrusted > 0 in
+      (* A Γ that fell back to all-⊥ certifies nothing; checking it against
+         F-reachability would flag its (sound) over-approximation. *)
+      let resolve_degraded =
+        List.exists
+          (fun (e : Usher.Degrade.event) -> e.phase = Diag.Resolve)
+          !(a.events)
+      in
+      let gi suffix bld gamma =
+        {
+          Verify.Run.gi_suffix = suffix;
+          gi_build = bld;
+          gi_gamma = (if resolve_degraded then None else Some gamma);
+          gi_allow_f_pins = forced;
+        }
+      in
+      let budget = Usher.Budget.of_knobs knobs in
+      let reports =
+        Verify.Run.check_all ?budget ~skip
+          ~context_sensitive:knobs.Usher.Config.context_sensitive prog a.pa
+          a.cg a.mr a.mssa
+          [ gi "" a.vfg a.gamma; gi "-tl" a.vfg_tl a.gamma_tl ]
+      in
+      print_verify_reports reports;
+      let print_violation (v : Verify.Report.violation) =
+        Printf.printf "violation%s: %s\n"
+          (match v.Verify.Report.vfunc with
+          | Some fn -> " in " ^ fn
+          | None -> "")
+          (Diag.to_string v.Verify.Report.vdiag)
+      in
+      List.iter
+        (fun r -> List.iter print_violation (Verify.Report.errors r))
+        reports;
+      if Verify.Run.all_ok reports then begin
+        Printf.printf "check: all certificates verified\n";
+        0
+      end
+      else begin
+        let functions =
+          List.concat_map
+            (fun r ->
+              List.filter_map
+                (fun (v : Verify.Report.violation) -> v.Verify.Report.vfunc)
+                (Verify.Report.errors r))
+            reports
+          |> List.sort_uniq compare
+        in
+        let rejected =
+          List.filter (fun r -> not (Verify.Report.ok r)) reports
+        in
+        let inc =
+          Audit.Incident.make ~kind:Audit.Incident.Static_violation
+            ~variant:
+              (String.concat "+"
+                 (List.map (fun (r : Verify.Report.t) -> r.checker) rejected))
+            ~seed:0 ~mutation:"" ~functions ~labels:[]
+            ~knobs:(Audit.Loop.knobs_summary knobs) ~source:src ()
+        in
+        let path = Audit.Incident.save ~dir:incident_dir inc in
+        Printf.printf
+          "check: %d certificate violation(s); incident recorded at %s\n"
+          (Verify.Run.total_violations reports)
+          path;
+        5
+      end
+    end
+  in
+  let incident_dir_arg =
+    Arg.(value & opt string ".usher-audit"
+         & info [ "incident-dir" ] ~docv:"DIR"
+             ~doc:"Directory for static-violation incident artifacts \
+                   (written only when a certificate is rejected).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Independently re-verify the static analysis of a TinyC \
+             program: replay the Andersen constraints against the \
+             points-to solution, check memory-SSA well-formedness, replay \
+             the VFG construction rules, and validate Γ as a fixpoint of \
+             F-reachability. Exits 0 when every certificate verifies, 5 \
+             when any checker finds a violation (an incident artifact is \
+             then recorded).")
+    Term.(const run $ file_arg $ level_arg $ knobs_term $ incident_dir_arg
           $ trace_arg $ metrics_arg)
 
 (* ---- gen ---- *)
@@ -485,7 +616,7 @@ let main =
   Cmd.group
     (Cmd.info "usherc" ~version:"1.0.0"
        ~doc:"Usher: static value-flow analysis accelerating undefined-value detection")
-    [ analyze_cmd; run_cmd; gen_cmd; bench_cmd; audit_cmd ]
+    [ analyze_cmd; run_cmd; check_cmd; gen_cmd; bench_cmd; audit_cmd ]
 
 (* Structured diagnostics (bad source, interpreter traps) exit cleanly
    with the located message instead of a backtrace. *)

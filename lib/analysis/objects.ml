@@ -35,7 +35,10 @@ type t = {
   by_global : (string, int) Hashtbl.t;
   by_func : (fname, int) Hashtbl.t;
   mutable loc_obj : int array;    (* loc -> oid, set by freeze *)
+  mutable field_clamps : int;     (* out-of-range field accesses clamped *)
 }
+
+let m_field_clamps = Obs.Metrics.counter "objects.field_clamps"
 
 let dummy_obj =
   { oid = -1; osite = -1; octx = None; okind = Obj_stack; oname = "!";
@@ -44,7 +47,7 @@ let dummy_obj =
 let create () =
   { objs = Vec.create ~dummy:dummy_obj; locbase = [||]; nlocs = 0;
     by_site = Hashtbl.create 64; by_global = Hashtbl.create 16;
-    by_func = Hashtbl.create 16; loc_obj = [||] }
+    by_func = Hashtbl.create 16; loc_obj = [||]; field_clamps = 0 }
 
 let add_obj t ~osite ~octx ~okind ~oname ~onfields ~oarray ~oowner ~oinit =
   let onfields = if oarray then 1 else max 1 onfields in
@@ -81,11 +84,23 @@ let nlocs t = t.nlocs
 let obj t oid = Vec.get t.objs oid
 
 (** [loc t oid field] — the location id for field [field] of [oid], clamping
-    out-of-range fields and collapsing array objects. *)
+    out-of-range fields and collapsing array objects. Clamps on non-array
+    objects are genuinely out-of-range accesses (array collapse is by
+    design); they are counted so Verify.Pta can surface them instead of the
+    old silent truncation. *)
 let loc t oid field =
   let o = obj t oid in
-  let field = if o.oarray then 0 else max 0 (min field (o.onfields - 1)) in
+  let field =
+    if o.oarray then 0
+    else if field < 0 || field > o.onfields - 1 then begin
+      t.field_clamps <- t.field_clamps + 1;
+      Obs.Metrics.incr m_field_clamps;
+      max 0 (min field (o.onfields - 1))
+    end else field
+  in
   t.locbase.(oid) + field
+
+let field_clamps t = t.field_clamps
 
 let loc_obj t l = obj t t.loc_obj.(l)
 let loc_field t l = l - t.locbase.(t.loc_obj.(l))

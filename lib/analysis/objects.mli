@@ -48,8 +48,14 @@ val nlocs : t -> int
 val obj : t -> int -> obj
 
 (** [loc t oid field] — the location id for a field, clamping out-of-range
-    fields and collapsing array objects. *)
+    fields and collapsing array objects. Non-array clamps are counted (see
+    {!field_clamps}) and mirrored to the [objects.field_clamps] metric. *)
 val loc : t -> int -> int -> int
+
+(** Number of out-of-range (non-array) field accesses silently clamped by
+    {!loc} over this table's lifetime. Verify.Pta surfaces a nonzero count
+    as a warning diagnostic. *)
+val field_clamps : t -> int
 
 val loc_obj : t -> int -> obj
 val loc_field : t -> int -> int

@@ -10,17 +10,23 @@
    (temp + rename) so a crashed audit run never leaves a half-written
    incident behind. *)
 
-type kind = Soundness_miss | Precision_regression | Behavior_divergence
+type kind =
+  | Soundness_miss
+  | Precision_regression
+  | Behavior_divergence
+  | Static_violation
 
 let kind_name = function
   | Soundness_miss -> "soundness-miss"
   | Precision_regression -> "precision-regression"
   | Behavior_divergence -> "behavior-divergence"
+  | Static_violation -> "static-violation"
 
 let kind_of_name = function
   | "soundness-miss" -> Some Soundness_miss
   | "precision-regression" -> Some Precision_regression
   | "behavior-divergence" -> Some Behavior_divergence
+  | "static-violation" -> Some Static_violation
   | _ -> None
 
 type t = {

@@ -3,7 +3,13 @@
     seed, mutation, variant, knobs, implicated functions/labels, and the
     ddmin-minimized repro once reduction has run. *)
 
-type kind = Soundness_miss | Precision_regression | Behavior_divergence
+type kind =
+  | Soundness_miss
+  | Precision_regression
+  | Behavior_divergence
+  | Static_violation
+      (** a certificate checker ([usherc check] / lib/verify) rejected a
+          static-analysis result *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option

@@ -34,6 +34,7 @@ type phase =
   | Instrument
   | Interp
   | Audit           (* the soundness sentinel (differential audit) *)
+  | Verify          (* the certificate checkers (lib/verify) *)
   | Driver
 
 type loc = { line : int; col : int }
@@ -65,6 +66,7 @@ let phase_name = function
   | Instrument -> "instrument"
   | Interp -> "interp"
   | Audit -> "audit"
+  | Verify -> "verify"
   | Driver -> "driver"
 
 let to_string (d : t) =

@@ -24,6 +24,8 @@ type t = {
   condensation_ratio : float;    (* VFG components / nodes; 1.0 = no cycles *)
   degraded_functions : string list;   (* distrusted: MSan instrumentation *)
   degradation_events : string list;   (* the ladder's audit trail *)
+  verify_checkers : (string * float * int) list;
+      (* (checker, wall_s, violations) when --verify ran; [] otherwise *)
 }
 
 let kloc_of_source (src : string) : float =
@@ -108,4 +110,9 @@ let compute ~(src : string) (a : Pipeline.analysis) : t =
          /. float_of_int n);
     degraded_functions = Pipeline.distrusted_functions a;
     degradation_events = List.map Degrade.to_string !(a.events);
+    verify_checkers =
+      List.map
+        (fun (r : Verify.Report.t) ->
+          (r.checker, r.wall_s, Verify.Report.nviolations r))
+        a.verify_reports;
   }

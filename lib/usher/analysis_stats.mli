@@ -24,6 +24,10 @@ type t = {
   condensation_ratio : float;    (** VFG components / nodes; 1.0 = no cycles *)
   degraded_functions : string list;   (** distrusted: MSan instrumentation *)
   degradation_events : string list;   (** the ladder's audit trail *)
+  verify_checkers : (string * float * int) list;
+      (** (checker, wall seconds, violations) per certificate checker, in
+          pipeline order, when the analysis ran with [verify]; [[]]
+          otherwise *)
 }
 
 val kloc_of_source : string -> float

@@ -17,10 +17,20 @@ let variant_name = function
   | Usher_opt1 -> "Usher_OptI"
   | Usher_full -> "Usher"
 
+(** Seeded analyzer corruptions: each silently damages one phase's
+    finished artifact in the unsound (fact-dropping) direction, which the
+    certifying checkers (lib/verify) must always detect. *)
+type corruption =
+  | Pts_bitflip    (** clear one set bit in the points-to solution *)
+  | Drop_vfg_edge  (** remove one value-flow edge from the VFG *)
+  | Gamma_flip     (** flip one ⊥ entry of Γ to ⊤ *)
+
 (** How an injected fault manifests at a phase boundary. *)
 type fault_kind =
   | Crash      (** the phase raises a structured diagnostic *)
   | Exhaust    (** the phase reports its resource budget as blown *)
+  | Corrupt of corruption
+      (** the phase completes but its result is silently damaged *)
 
 (** A fault to inject (testing the degradation ladder): fires when the
     pipeline enters [fphase] — at the phase boundary when [ffunc] is
@@ -46,6 +56,9 @@ type knobs = {
   solver_fuel : int option;    (** Andersen worklist iterations *)
   vfg_node_cap : int option;   (** VFG size cap *)
   resolve_fuel : int option;   (** Γ resolution states *)
+  verify : bool;
+      (** run the certificate checkers (lib/verify) after each pipeline
+          phase; violations feed the degradation ladder *)
   inject : fault list;         (** faults to inject (tests/CLI) *)
   quarantine : (string * string) list;
       (** functions the soundness sentinel has quarantined, as
@@ -65,6 +78,7 @@ let default_knobs =
     solver_fuel = None;
     vfg_node_cap = None;
     resolve_fuel = None;
+    verify = false;
     inject = [];
     quarantine = [];
   }

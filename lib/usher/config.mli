@@ -11,10 +11,20 @@ type variant =
 val all_variants : variant list
 val variant_name : variant -> string
 
+(** Seeded analyzer corruptions: each silently damages one phase's
+    finished artifact in the unsound (fact-dropping) direction, which the
+    certifying checkers (lib/verify) must always detect. *)
+type corruption =
+  | Pts_bitflip    (** clear one set bit in the points-to solution *)
+  | Drop_vfg_edge  (** remove one value-flow edge from the VFG *)
+  | Gamma_flip     (** flip one ⊥ entry of Γ to ⊤ *)
+
 (** How an injected fault manifests at a phase boundary. *)
 type fault_kind =
   | Crash      (** the phase raises a structured diagnostic *)
   | Exhaust    (** the phase reports its resource budget as blown *)
+  | Corrupt of corruption
+      (** the phase completes but its result is silently damaged *)
 
 (** A fault to inject (testing the degradation ladder): fires when the
     pipeline enters [fphase] — at the phase boundary when [ffunc] is
@@ -39,6 +49,9 @@ type knobs = {
   solver_fuel : int option;    (** Andersen worklist iterations *)
   vfg_node_cap : int option;   (** VFG size cap *)
   resolve_fuel : int option;   (** Γ resolution states *)
+  verify : bool;
+      (** run the certificate checkers (lib/verify) after each pipeline
+          phase; violations feed the degradation ladder *)
   inject : fault list;         (** faults to inject (tests/CLI) *)
   quarantine : (string * string) list;
       (** functions the soundness sentinel has quarantined, as

@@ -13,6 +13,8 @@
 type kind =
   | Fault                  (* a phase faulted or blew its budget *)
   | Quarantined of string  (* distrusted by audit incident (its id) *)
+  | Unverified of string   (* a certificate checker (lib/verify, named
+                              here) rejected the phase's result *)
 
 type event = {
   phase : Diag.phase;
@@ -29,17 +31,20 @@ type event = {
    plan_for) funnels through [observe]. *)
 let m_events = Obs.Metrics.counter "pipeline.degrade_events"
 let m_quarantined = Obs.Metrics.counter "pipeline.quarantine_events"
+let m_unverified = Obs.Metrics.counter "pipeline.unverified_events"
 
 let observe (e : event) : unit =
   Obs.Metrics.incr m_events;
   (match e.kind with
   | Quarantined _ -> Obs.Metrics.incr m_quarantined
+  | Unverified _ -> Obs.Metrics.incr m_unverified
   | Fault -> ());
   if Obs.Trace.enabled () then begin
     let cat, name =
       match e.kind with
       | Fault -> ("degrade", "degrade." ^ Diag.phase_name e.phase)
       | Quarantined inc -> ("quarantine", "quarantine." ^ inc)
+      | Unverified checker -> ("verify", "unverified." ^ checker)
     in
     Obs.Trace.instant ~cat
       ~args:
@@ -57,6 +62,7 @@ let to_string (e : event) : string =
     match e.kind with
     | Fault -> "degrade"
     | Quarantined inc -> "quarantine " ^ inc
+    | Unverified checker -> "unverified " ^ checker
   in
   Printf.sprintf "[%s] %s%s: %s (%s)" tag
     (Diag.phase_name e.phase)

@@ -6,6 +6,9 @@
 type kind =
   | Fault
   | Quarantined of string  (** the incident id that implicated the function *)
+  | Unverified of string
+      (** a certificate checker (lib/verify, named here) rejected the
+          phase's result; the ladder treats it like a phase fault *)
 
 type event = {
   phase : Diag.phase;

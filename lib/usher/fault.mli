@@ -11,7 +11,22 @@ val phase_of_string : string -> Diag.phase option
     per-function loop. No-op otherwise. *)
 val check : Config.knobs -> Diag.phase -> string option -> unit
 
-(** Parse [PHASE[:FUNC][=crash|exhaust]] (kind defaults to crash). *)
+(** Parse [PHASE[:FUNC][=crash|exhaust|pts-bitflip|drop-vfg-edge|gamma-flip]]
+    (kind defaults to crash). *)
 val of_spec : string -> (Config.fault, string) result
 
 val to_string : Config.fault -> string
+
+(** Does [knobs.inject] request corruption [c] of phase [phase]'s result?
+    Corruptions are applied by the pipeline after the phase completes (the
+    phase itself succeeds); [Fault.check] ignores them. *)
+val wants : Config.knobs -> Diag.phase -> Config.corruption -> bool
+
+(** Deterministic seeded corruptions — each damages the artifact in the
+    fact-dropping (unsound) direction the certifying checkers must catch,
+    and returns a description of the damaged element ([None] when the
+    artifact had nothing to corrupt). *)
+
+val corrupt_pts : Analysis.Andersen.t -> string option
+val corrupt_vfg : Vfg.Graph.t -> string option
+val corrupt_gamma : Vfg.Resolve.gamma -> string option

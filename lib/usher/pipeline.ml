@@ -45,6 +45,9 @@ type analysis = {
       (* functions whose static results are no longer trusted *)
   degraded_all : bool;                (* rung 4: everything falls back to MSan *)
   events : Degrade.event list ref;    (* the ladder's audit trail, in order *)
+  verify_reports : Verify.Report.t list;
+      (* certificate-checker reports, in pipeline order (empty unless
+         [knobs.verify]) *)
 }
 
 (* Per-phase wall time distribution (microseconds, log2 buckets), across
@@ -166,6 +169,63 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
         kind = Degrade.Fault;
       }
   in
+  (* Certificate checking (knobs.verify): each checker replays its phase's
+     specification against the finished artifact. A rejected certificate
+     walks the same ladder as a phase fault — the offending function is
+     distrusted when the violation names one, rung 4 otherwise. A crash or
+     budget blow inside a checker aborts only that checker and the result
+     is accepted unverified: verification adds assurance, never behavior. *)
+  let verify_reports : Verify.Report.t list ref = ref [] in
+  let run_checker name ~on_bad (f : unit -> Verify.Report.t) : unit =
+    if knobs.verify && not !degraded_all then
+      timed ("verify-" ^ name) (fun () ->
+          try
+            Fault.check knobs Diag.Verify None;
+            let r = f () in
+            verify_reports := !verify_reports @ [ r ];
+            List.iter on_bad (Verify.Report.errors r)
+          with e ->
+            push
+              {
+                Degrade.phase = Diag.Verify;
+                func = None;
+                action = name ^ " checker aborted; result accepted unverified";
+                diag = Diag.of_exn Diag.Verify e;
+                kind = Degrade.Fault;
+              })
+  in
+  (* Whole-program rejection: same rung 4 as a whole-program phase fault. *)
+  let reject_all checker (v : Verify.Report.violation) =
+    if not !degraded_all then begin
+      degraded_all := true;
+      push
+        {
+          Degrade.phase = Diag.Verify;
+          func = None;
+          action = checker ^ " certificate rejected; whole-program degradation";
+          diag = v.Verify.Report.vdiag;
+          kind = Degrade.Unverified checker;
+        }
+    end
+  in
+  (* Function-scoped rejection: same rung 3 as a per-function fault. *)
+  let reject checker (v : Verify.Report.violation) =
+    match v.Verify.Report.vfunc with
+    | None -> reject_all checker v
+    | Some fn ->
+      if not (Hashtbl.mem distrusted fn) then begin
+        Hashtbl.replace distrusted fn v.Verify.Report.vdiag;
+        push
+          {
+            Degrade.phase = Diag.Verify;
+            func = Some fn;
+            action = "certificate rejected; function distrusted";
+            diag = v.Verify.Report.vdiag;
+            kind = Degrade.Unverified checker;
+          }
+      end
+  in
+  let not_trusted fn = Hashtbl.mem distrusted fn in
   (* Trusted-from-nothing artifact chain, for rung 4: the stub pointer
      analysis knows no objects, so everything downstream of it is small
      and deterministic. Shared lazily so the record stays consistent. *)
@@ -209,6 +269,13 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
                 }
               ?budget prog))
   in
+  (* Seeded corruption of the solved points-to sets happens before anything
+     downstream consumes them, so the damage is exactly what Verify.Pta is
+     specified to catch (downstream artifacts stay mutually consistent). *)
+  if Fault.wants knobs Diag.Andersen Config.Pts_bitflip && not !degraded_all
+  then ignore (Fault.corrupt_pts pa);
+  run_checker "pta" ~on_bad:(reject_all "pta") (fun () ->
+      Verify.Pta.check ?budget prog pa);
   let cg =
     timed "callgraph" (fun () ->
         guard Diag.Callgraph ~fallback:s_cg (fun () ->
@@ -234,6 +301,8 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     if !degraded_all then (s_pa (), s_cg (), s_mr (), s_mssa ())
     else (pa, cg, mr, mssa)
   in
+  run_checker "ssa" ~on_bad:(reject "ssa") (fun () ->
+      Verify.Ssa.check ?budget ~skip:not_trusted prog pa cg mr mssa);
   let build_vfg ~track_memory ~guarded () =
     let config = { Vfg.Build.track_memory; semi_strong = knobs.semi_strong } in
     if guarded then
@@ -255,6 +324,17 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
           ~fallback:(fun () -> build_vfg ~track_memory:false ~guarded:false ())
           (fun () -> build_vfg ~track_memory:false ~guarded:true ()))
   in
+  (* Corrupt, then check, then force: the structural checkers run before
+     [force_distrusted] (whose F-pins would otherwise read as extra
+     edges), and a function whose VFG fragment fails its certificate is
+     distrusted right here, so the force pass below pins it to ⊥. *)
+  if Fault.wants knobs Diag.Vfg_build Config.Drop_vfg_edge && not !degraded_all
+  then ignore (Fault.corrupt_vfg vfg.Vfg.Build.graph);
+  run_checker "vfg" ~on_bad:(reject "vfg") (fun () ->
+      Verify.Vfg.check_structure ?budget ~skip:not_trusted ~name:"vfg" vfg);
+  run_checker "vfg-tl" ~on_bad:(reject "vfg-tl") (fun () ->
+      Verify.Vfg.check_structure ?budget ~skip:not_trusted ~name:"vfg-tl"
+        vfg_tl);
   (* Rung 3: force every distrusted function's VFG fragment (and every
      flow crossing the trust boundary) to ⊥ before resolution, in both
      graphs. Forcing only adds edges to the F root, so Γ only gains ⊥. *)
@@ -264,13 +344,14 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
   end;
   (* Rung 2: a resolution fault degrades Γ to all-undefined — guided
      instrumentation is monotone in the ⊥ set, so this only adds items. *)
-  let resolve_guard what (bld : Vfg.Build.t) =
-    if !degraded_all then Vfg.Resolve.all_bot bld.graph
+  let resolve_guard what (bld : Vfg.Build.t) : Vfg.Resolve.gamma * bool =
+    if !degraded_all then (Vfg.Resolve.all_bot bld.graph, false)
     else
       try
         Fault.check knobs Diag.Resolve None;
-        Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive ?budget
-          bld.graph
+        ( Vfg.Resolve.resolve ~context_sensitive:knobs.context_sensitive
+            ?budget bld.graph,
+          true )
       with e ->
         push
           {
@@ -280,10 +361,45 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
             diag = Diag.of_exn Diag.Resolve e;
             kind = Degrade.Fault;
           };
-        Vfg.Resolve.all_bot bld.graph
+        (Vfg.Resolve.all_bot bld.graph, false)
   in
-  let gamma = timed "resolve" (fun () -> resolve_guard "TL+AT" vfg) in
-  let gamma_tl = timed "resolve-tl" (fun () -> resolve_guard "TL" vfg_tl) in
+  (* Γ certification: only a genuinely resolved Γ is checked (the all-⊥
+     fallback certifies nothing and is trivially sound); a rejected Γ is
+     degraded to all-⊥, which only adds instrumentation. *)
+  let gamma_guard name (bld : Vfg.Build.t) (gm, resolved) =
+    if not resolved then gm
+    else begin
+      if Fault.wants knobs Diag.Resolve Config.Gamma_flip then
+        ignore (Fault.corrupt_gamma gm);
+      let bad = ref false in
+      run_checker name
+        ~on_bad:(fun v ->
+          if not !bad then begin
+            bad := true;
+            push
+              {
+                Degrade.phase = Diag.Verify;
+                func = None;
+                action =
+                  Printf.sprintf "Γ certificate (%s) rejected; degraded to \
+                                  all-undefined" name;
+                diag = v.Verify.Report.vdiag;
+                kind = Degrade.Unverified name;
+              }
+          end)
+        (fun () ->
+          Verify.Vfg.check_gamma ?budget
+            ~context_sensitive:knobs.context_sensitive ~name bld gm);
+      if !bad then Vfg.Resolve.all_bot bld.graph else gm
+    end
+  in
+  let gamma =
+    gamma_guard "gamma" vfg (timed "resolve" (fun () -> resolve_guard "TL+AT" vfg))
+  in
+  let gamma_tl =
+    gamma_guard "gamma-tl" vfg_tl
+      (timed "resolve-tl" (fun () -> resolve_guard "TL" vfg_tl))
+  in
   (* Rung 1: without Opt II the redundant checks simply stay in. Opt II is
      also skipped whenever anything above degraded — its dominance argument
      assumes the unmodified Γ of a fully analyzed program. *)
@@ -337,6 +453,7 @@ let analyze ?(knobs = Config.default_knobs) (prog : Ir.Prog.t) : analysis =
     distrusted;
     degraded_all = !degraded_all;
     events;
+    verify_reports = !verify_reports;
   }
 
 let distrusted_functions (a : analysis) : string list =

@@ -32,6 +32,10 @@ type analysis = {
       (** functions whose static results are no longer trusted *)
   degraded_all : bool;  (** rung 4: every variant falls back to MSan *)
   events : Degrade.event list ref;  (** the ladder's audit trail, in order *)
+  verify_reports : Verify.Report.t list;
+      (** certificate-checker reports, in pipeline order: pta, ssa, vfg,
+          vfg-tl, gamma, gamma-tl (empty unless [knobs.verify]; aborted
+          or skipped checkers are simply absent) *)
 }
 
 (** Parse, lower and optimize a TinyC source (default level O0+IM). *)

@@ -1,0 +1,263 @@
+(* Verify.Pta — certificate checker for the Andersen points-to solution.
+
+   Replays every constraint the solver derives from the program — address-of
+   seeds, copy edges, loads, stores, field/index offsets, direct and
+   indirect calls (including the 1-callsite heap-cloning rule), and returns
+   — against the final solution in ONE pass. No union-find, no worklist, no
+   cycle elimination: each rule is checked directly with set membership and
+   subset tests, so the checker shares no mechanism with the solver it
+   audits.
+
+   What this proves: the reported solution is a pre-fixpoint of the
+   constraint system — every inclusion the program implies holds. Because
+   the solver claims the LEAST fixpoint and every bit in it has a
+   well-founded derivation, clearing any set bit necessarily leaves some
+   replayed inclusion unsatisfied, so any dropped-fact corruption is caught.
+   Extra bits (over-approximation) are sound for the client analyses and
+   are deliberately not flagged.
+
+   What this trusts: the IR itself, the object/location table (including
+   which clones exist), and the syntactic wrapper/address-taken prepass
+   recorded in [pa.wrappers] / [pa.address_taken_funcs]. Those are
+   O(program) enumerations, not fixpoints — the fixpoint is what we check.
+
+   The checker's own [Objects.loc] calls can clamp out-of-range fields, so
+   the [field_clamps] counter is snapshotted first; a nonzero count at
+   entry is surfaced as a warning (satellite: the solver used to clamp
+   silently). *)
+
+open Ir.Types
+module P = Ir.Prog
+module A = Analysis.Andersen
+module Objects = Analysis.Objects
+module Bitset = Analysis.Bitset
+
+let check ?budget (p : P.t) (pa : A.t) : Report.t =
+  let t0 = Obs.Clock.now_s () in
+  let r = Report.create "pta" in
+  let objects = pa.A.objects in
+  let clamps0 = Objects.field_clamps objects in
+  let tick () =
+    match budget with Some b -> Diag.Budget.tick b Diag.Verify | None -> ()
+  in
+  let vname x = P.var_name p x in
+  let lname l = Objects.loc_name objects l in
+  (* pts of a constraint node: vars and ret-node ids share one index space
+     ([A.pts_var] is the node-indexed query; ret ids start at nvars). *)
+  let pts_node n = A.pts_var pa n in
+  let pts_var v = A.pts_var pa v in
+  let ret_of ~func g k =
+    match Hashtbl.find_opt pa.A.ret_node g with
+    | Some n -> k n
+    | None ->
+      Report.violation ~func r "no return node for function %s" g
+  in
+  (* src ⊆ dst, witness = first element of src missing from dst. [what]
+     builds the message lazily — only paid on failure. *)
+  let subset ?func ~src ~dst what =
+    Report.fact r;
+    match Bitset.diff_new ~src ~old:dst with
+    | [] -> ()
+    | w :: _ ->
+      Report.violation ?func r "%s: %s missing from the target set" (what ())
+        (lname w)
+  in
+  let member ?func l ~dst what =
+    Report.fact r;
+    if not (Bitset.mem dst l) then
+      Report.violation ?func r "%s: %s missing from the target set" (what ())
+        (lname l)
+  in
+  let callee_recorded ~func lbl g =
+    Report.fact r;
+    if not (List.mem g (A.callees_of pa lbl)) then
+      Report.violation ~func r
+        "call site l%d: resolved callee %s missing from the call graph" lbl g
+  in
+  (* Argument binding replicates the solver's tolerant [List.iter2]: the
+     common prefix binds, surplus on either side is ignored. *)
+  let rec bind_prefix ~func lbl args params =
+    match (args, params) with
+    | Var a :: args', prm :: params' ->
+      subset ~func ~src:(pts_var a) ~dst:(pts_var prm) (fun () ->
+          Printf.sprintf "call site l%d: arg %s into param %s" lbl (vname a)
+            (vname prm));
+      bind_prefix ~func lbl args' params'
+    | (Cst _ | Undef) :: args', _ :: params' -> bind_prefix ~func lbl args' params'
+    | _, [] | [], _ -> ()
+  in
+  (* Full binding of a resolved (non-clone) call to a defined callee. *)
+  let bind_call ~func lbl (callee : func) cdst cargs =
+    callee_recorded ~func lbl callee.fname;
+    bind_prefix ~func lbl cargs callee.params;
+    match cdst with
+    | Some x ->
+      ret_of ~func callee.fname (fun rn ->
+          subset ~func ~src:(pts_node rn) ~dst:(pts_var x) (fun () ->
+              Printf.sprintf "call site l%d: return of %s into %s" lbl
+                callee.fname (vname x)))
+    | None -> ()
+  in
+  P.iter_instrs
+    (fun f _ i ->
+      tick ();
+      let func = f.fname in
+      match i.kind with
+      | Alloc a ->
+        List.iter
+          (fun oid ->
+            member ~func
+              (Objects.loc objects oid 0)
+              ~dst:(pts_var a.adst)
+              (fun () ->
+                Printf.sprintf "l%d: alloc %s into %s" i.lbl a.aname
+                  (vname a.adst)))
+          (Objects.objs_of_site objects i.lbl)
+      | Global_addr (x, g) -> (
+        match Objects.obj_of_global objects g with
+        | oid ->
+          member ~func
+            (Objects.loc objects oid 0)
+            ~dst:(pts_var x)
+            (fun () -> Printf.sprintf "l%d: &%s into %s" i.lbl g (vname x))
+        | exception Not_found ->
+          Report.violation ~func r "l%d: global %s has no object" i.lbl g)
+      | Func_addr (x, g) -> (
+        match Objects.obj_of_func objects g with
+        | Some oid ->
+          member ~func
+            (Objects.loc objects oid 0)
+            ~dst:(pts_var x)
+            (fun () -> Printf.sprintf "l%d: &%s into %s" i.lbl g (vname x))
+        | None -> ())
+      | Copy (x, Var y) ->
+        subset ~func ~src:(pts_var y) ~dst:(pts_var x) (fun () ->
+            Printf.sprintf "l%d: copy %s := %s" i.lbl (vname x) (vname y))
+      | Copy (_, (Cst _ | Undef)) -> ()
+      | Phi (x, ins) ->
+        List.iter
+          (fun (_, o) ->
+            match o with
+            | Var y ->
+              subset ~func ~src:(pts_var y) ~dst:(pts_var x) (fun () ->
+                  Printf.sprintf "l%d: phi %s arm %s" i.lbl (vname x) (vname y))
+            | Cst _ | Undef -> ())
+          ins
+      | Load (x, y) ->
+        Bitset.iter
+          (fun l ->
+            subset ~func ~src:(A.pts_loc pa l) ~dst:(pts_var x) (fun () ->
+                Printf.sprintf "l%d: load %s := *%s through %s" i.lbl (vname x)
+                  (vname y) (lname l)))
+          (pts_var y)
+      | Store (x, Var y) ->
+        Bitset.iter
+          (fun l ->
+            subset ~func ~src:(pts_var y) ~dst:(A.pts_loc pa l) (fun () ->
+                Printf.sprintf "l%d: store *%s := %s through %s" i.lbl
+                  (vname x) (vname y) (lname l)))
+          (pts_var x)
+      | Store (_, (Cst _ | Undef)) -> ()
+      | Field_addr (x, y, k) ->
+        Bitset.iter
+          (fun l ->
+            let o = Objects.loc_obj objects l in
+            let field = Objects.loc_field objects l in
+            member ~func
+              (Objects.loc objects o.Objects.oid (field + k))
+              ~dst:(pts_var x)
+              (fun () ->
+                Printf.sprintf "l%d: %s := &%s->f%d over %s" i.lbl (vname x)
+                  (vname y) k (lname l)))
+          (pts_var y)
+      | Index_addr (x, y, o) -> (
+        let idx = match o with Cst n -> Some n | Var _ | Undef -> None in
+        Bitset.iter
+          (fun l ->
+            let ob = Objects.loc_obj objects l in
+            let field = Objects.loc_field objects l in
+            match idx with
+            | Some k ->
+              member ~func
+                (Objects.loc objects ob.Objects.oid (field + k))
+                ~dst:(pts_var x)
+                (fun () ->
+                  Printf.sprintf "l%d: %s := &%s[%d] over %s" i.lbl (vname x)
+                    (vname y) k (lname l))
+            | None ->
+              (* dynamic index: any cell of the object *)
+              let cell l' =
+                member ~func l' ~dst:(pts_var x) (fun () ->
+                    Printf.sprintf "l%d: %s := &%s[*] over %s" i.lbl (vname x)
+                      (vname y) (lname l))
+              in
+              if ob.Objects.onfields > 1 then
+                Objects.iter_obj_locs objects ob.Objects.oid cell
+              else cell (Objects.loc objects ob.Objects.oid field))
+          (pts_var y))
+      | Call { callee = Direct g; cdst; cargs } -> (
+        match P.find_func p g with
+        | None -> () (* external: the solver imposes nothing *)
+        | Some callee -> (
+          (* 1-callsite heap cloning: a per-site clone object exists exactly
+             when the solver's cloning rule fired (cloning enabled, [g] a
+             non-address-taken wrapper) — the object table encodes it. *)
+          let wrapper_clone =
+            if not (Hashtbl.mem pa.A.address_taken_funcs g) then
+              match Hashtbl.find_opt pa.A.wrappers g with
+              | Some site -> Objects.obj_of_site objects site (Some i.lbl)
+              | None -> None
+            else None
+          in
+          match wrapper_clone with
+          | Some oid -> (
+            callee_recorded ~func i.lbl g;
+            bind_prefix ~func i.lbl cargs callee.params;
+            match cdst with
+            | Some x ->
+              member ~func
+                (Objects.loc objects oid 0)
+                ~dst:(pts_var x)
+                (fun () ->
+                  Printf.sprintf "l%d: heap clone of wrapper %s into %s" i.lbl
+                    g (vname x))
+            | None -> ())
+          | None -> bind_call ~func i.lbl callee cdst cargs))
+      | Call { callee = Indirect v; cdst; cargs } ->
+        Bitset.iter
+          (fun l ->
+            match
+              Objects.func_of_obj objects (Objects.loc_obj objects l).Objects.oid
+            with
+            | Some g -> (
+              match P.find_func p g with
+              | Some callee ->
+                if List.length cargs = List.length callee.params then
+                  bind_call ~func i.lbl callee cdst cargs
+              | None -> ())
+            | None -> ())
+          (pts_var v)
+      | Const _ | Unop _ | Binop _ | Output _ | Input _ -> ())
+    p;
+  (* Return edges: every returned variable flows into the return node. *)
+  P.iter_funcs
+    (fun f ->
+      Array.iter
+        (fun b ->
+          match b.term.tkind with
+          | Ret (Some (Var x)) ->
+            tick ();
+            ret_of ~func:f.fname f.fname (fun rn ->
+                subset ~func:f.fname ~src:(pts_var x) ~dst:(pts_node rn)
+                  (fun () ->
+                    Printf.sprintf "l%d: ret %s of %s" b.term.tlbl (vname x)
+                      f.fname))
+          | Ret _ | Br _ | Jmp _ -> ())
+        f.blocks)
+    p;
+  if clamps0 > 0 then
+    Report.warning r
+      "%d out-of-range field access(es) were silently clamped by the object \
+       table; field-offset results may be imprecise"
+      clamps0;
+  Report.finish r ~wall_s:(Obs.Clock.now_s () -. t0)

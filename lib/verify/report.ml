@@ -1,0 +1,78 @@
+(* Shared result type for the certificate checkers (lib/verify).
+
+   Each checker replays one phase's specification against that phase's
+   final output and accumulates located [Diag.t] violations here, tagged
+   with the offending function when one can be named — the pipeline uses
+   the tag to feed the existing per-function degradation ladder instead of
+   crashing. [finish] freezes the report, records the checker's wall time,
+   and mirrors the counts into the Obs metrics registry (and an instant
+   trace event when tracing), so per-checker cost and outcome are visible
+   in [--metrics] and the Chrome trace. *)
+
+type violation = {
+  vdiag : Diag.t;
+  vfunc : Ir.Types.fname option;
+      (* offending function, for targeted distrust; None = whole-program *)
+}
+
+type t = {
+  checker : string;
+  mutable wall_s : float;
+  mutable checked : int;            (* facts replayed *)
+  mutable violations : violation list;  (* newest first until [finish] *)
+}
+
+let create checker = { checker; wall_s = 0.0; checked = 0; violations = [] }
+
+let fact r = r.checked <- r.checked + 1
+
+let add r severity func message =
+  r.violations <-
+    { vdiag = { Diag.severity; phase = Diag.Verify; loc = None; message };
+      vfunc = func }
+    :: r.violations
+
+(** Record a violation ([Err]); the format result becomes the message. *)
+let violation ?func r fmt = Fmt.kstr (fun m -> add r Diag.Err func m) fmt
+
+(** Record a warning — surfaced but never fails a check. *)
+let warning ?func r fmt = Fmt.kstr (fun m -> add r Diag.Warning func m) fmt
+
+let errors r =
+  List.filter (fun v -> v.vdiag.Diag.severity = Diag.Err) r.violations
+
+let warnings r =
+  List.filter (fun v -> v.vdiag.Diag.severity = Diag.Warning) r.violations
+
+let nviolations r = List.length (errors r)
+let ok r = nviolations r = 0
+
+(** Freeze the report: order violations oldest-first, record wall time, and
+    publish [verify.<checker>.*] metrics plus a trace instant. *)
+let finish r ~wall_s =
+  r.wall_s <- wall_s;
+  r.violations <- List.rev r.violations;
+  Obs.Metrics.add
+    (Obs.Metrics.counter ("verify." ^ r.checker ^ ".facts"))
+    r.checked;
+  Obs.Metrics.add
+    (Obs.Metrics.counter ("verify." ^ r.checker ^ ".violations"))
+    (nviolations r);
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"verify"
+      ~args:
+        [
+          ("facts", Obs.Trace.Int r.checked);
+          ("violations", Obs.Trace.Int (nviolations r));
+          ("warnings", Obs.Trace.Int (List.length (warnings r)));
+          ("wall_ms", Obs.Trace.Float (wall_s *. 1000.0));
+        ]
+      ("verify." ^ r.checker);
+  r
+
+let summary_line r =
+  Printf.sprintf "%-10s %8.2f ms  %7d facts  %3d violations%s" r.checker
+    (r.wall_s *. 1000.0) r.checked (nviolations r)
+    (match List.length (warnings r) with
+    | 0 -> ""
+    | n -> Printf.sprintf "  %d warnings" n)
