@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- ablation  -- DESIGN.md §5 ablations
      dune exec bench/main.exe -- micro     -- Bechamel microbenchmarks of the
                                               analysis phases feeding each table
+     dune exec bench/main.exe -- serveload -- load-generate against an
+                                              in-process `usherc serve` daemon
      dune exec bench/main.exe -- scale=60 fig10   -- override the input scale
    dune exec bench/main.exe -- --jobs 4 table1  -- run experiments on 4 domains
                                                    (also: jobs=4, or BENCH_JOBS)
@@ -21,11 +23,13 @@
                                                    every analysis (also:
                                                    verify=true)
 
-   Every invocation also writes BENCH_usher.json (schema usher-bench/3):
+   Every invocation also writes BENCH_usher.json (schema usher-bench/4):
    per-phase wall times, peak heap, deterministic work counters, the
    process-wide Obs.Metrics snapshot, per-variant instrumentation
-   statistics and (under --verify) per-checker certificate times and
-   violation counts for whatever artifacts ran; see EXPERIMENTS.md.
+   statistics, (under --verify) per-checker certificate times and
+   violation counts, and (under serveload) server health — per-request
+   latency percentiles plus shed/retry/quarantine/cache counts from the
+   load-generator run — for whatever artifacts ran; see EXPERIMENTS.md.
    [--baseline FILE] fails the run if solve_iterations or
    states_explored regressed >20%% against the checked-in counters;
    [--update-baseline FILE] rewrites them. [--trace FILE] additionally
@@ -356,8 +360,166 @@ let micro () =
     (ratio "fig10-11/resolution" "fig10-11/resolution-naive")
 
 (* ------------------------------------------------------------------ *)
+(* serveload: a client-mode load generator against an in-process
+   `usherc serve` daemon. Mixed traffic — analyze/run over three analogs
+   twice (the second pass is all cache hits), one seeded worker crash
+   past the retry cap, one over-budget request — then a deliberate
+   saturation phase against a 1-worker/1-slot server to measure
+   shedding. Per-request latency percentiles and the shed/retry/
+   quarantine/cache counters land in the BENCH_usher.json "serve"
+   block. *)
+
+let serve_stats : (string * float) list ref = ref []
+let serve_status_counts : (string * int) list ref = ref []
+
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+
+let serveload () =
+  Printf.printf "\n== serveload: the daemon under generated load ==\n";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "usher-serveload-%d" (Unix.getpid ()))
+  in
+  let mu = Mutex.create () in
+  let replies = ref [] in
+  let out line = Mutex.protect mu (fun () -> replies := line :: !replies) in
+  let nreq = ref 0 in
+  let submit t fields =
+    incr nreq;
+    Serve.Server.handle_line t ~out
+      (Serve.Json.to_line
+         (Serve.Json.Obj
+            (("id", Serve.Json.Str (Printf.sprintf "L%d" !nreq)) :: fields)))
+  in
+  let str s = Serve.Json.Str s and num n = Serve.Json.Num (float_of_int n) in
+  let sources =
+    List.map
+      (fun name ->
+        (name, Workloads.Spec2000.source ~scale:5 (Workloads.Spec2000.find name)))
+      [ "164.gzip"; "181.mcf"; "197.parser" ]
+  in
+  (* phase 1: mixed traffic on a normally-provisioned server *)
+  let t =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        jobs = max 2 !jobs;
+        incident_dir = dir;
+        (* the burst is submitted faster than grants release: widen the
+           in-flight watermark so phase 1 measures quarantine/cache
+           behaviour, not shedding (phase 2 measures shedding) *)
+        admission =
+          {
+            Serve.Admission.default_config with
+            max_queue = 64;
+            max_inflight_ms = 1_000_000;
+          };
+      }
+  in
+  for _pass = 1 to 2 do
+    List.iter
+      (fun (_, src) ->
+        List.iter
+          (fun cmd -> submit t [ ("cmd", str cmd); ("source", str src) ])
+          [ "analyze"; "run" ])
+      sources
+  done;
+  submit t
+    [ ("cmd", str "run"); ("source", str (List.assoc "164.gzip" sources));
+      ("crash_worker", num 99) ];
+  submit t
+    [ ("cmd", str "analyze"); ("source", str (List.assoc "181.mcf" sources));
+      ("budget_ms", num 1) ];
+  Serve.Server.drain t;
+  (* phase 2: deliberate saturation — one worker, one queue slot *)
+  let t2 =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        jobs = 1;
+        incident_dir = dir;
+        admission =
+          { Serve.Admission.default_config with max_queue = 1 };
+      }
+  in
+  submit t2
+    [ ("cmd", str "run"); ("source", str (List.assoc "164.gzip" sources));
+      ("sleep_ms", num 150) ];
+  for _ = 1 to 6 do
+    submit t2
+      [ ("cmd", str "run"); ("source", str (List.assoc "164.gzip" sources)) ]
+  done;
+  Serve.Server.drain t2;
+  (* harvest *)
+  let parsed =
+    List.filter_map
+      (fun l -> match Serve.Json.parse l with Ok j -> Some j | Error _ -> None)
+      !replies
+  in
+  let field_str j k = Option.bind (Serve.Json.member k j) Serve.Json.str in
+  let statuses =
+    List.fold_left
+      (fun acc j ->
+        let s = Option.value ~default:"?" (field_str j "status") in
+        (s, 1 + Option.value ~default:0 (List.assoc_opt s acc))
+        :: List.remove_assoc s acc)
+      [] parsed
+    |> List.sort compare
+  in
+  let lat =
+    List.filter_map
+      (fun j -> Option.bind (Serve.Json.member "elapsed_ms" j) Serve.Json.num)
+      parsed
+    |> Array.of_list
+  in
+  Array.sort compare lat;
+  let c name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  Printf.printf "  %d request(s), %d reply(ies):" !nreq (List.length parsed);
+  List.iter (fun (s, n) -> Printf.printf "  %s %d" s n) statuses;
+  Printf.printf
+    "\n  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n"
+    (percentile lat 50.) (percentile lat 90.) (percentile lat 99.)
+    (percentile lat 100.);
+  Printf.printf
+    "  shed %d  retries %d  quarantined %d  cache hits/misses %d/%d\n"
+    (c "serve.shed") (c "serve.retries") (c "serve.quarantined")
+    (c "serve.cache_hits") (c "serve.cache_misses");
+  if List.length parsed <> !nreq then begin
+    Printf.printf "serveload FAILED: %d request(s) lost their reply\n"
+      (!nreq - List.length parsed);
+    exit 1
+  end;
+  serve_stats :=
+    [
+      ("requests", float_of_int !nreq);
+      ("replies", float_of_int (List.length parsed));
+      ("latency_p50_ms", percentile lat 50.);
+      ("latency_p90_ms", percentile lat 90.);
+      ("latency_p99_ms", percentile lat 99.);
+      ("latency_max_ms", percentile lat 100.);
+      ("shed", float_of_int (c "serve.shed"));
+      ("retries", float_of_int (c "serve.retries"));
+      ("quarantined", float_of_int (c "serve.quarantined"));
+      ("cache_hits", float_of_int (c "serve.cache_hits"));
+      ("cache_misses", float_of_int (c "serve.cache_misses"));
+    ];
+  serve_status_counts := statuses;
+  (* sweep the incident dir *)
+  (match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+      entries;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_usher.json: a hand-rolled emitter — the container has no JSON
-   library and the schema (usher-bench/3, documented in EXPERIMENTS.md) is
+   library and the schema (usher-bench/4, documented in EXPERIMENTS.md) is
    small enough not to need one. *)
 
 type json =
@@ -498,7 +660,7 @@ let write_bench_json ~wall ~cpu () =
   let j =
     Jobj
       [
-        ("schema", Jstr "usher-bench/3");
+        ("schema", Jstr "usher-bench/4");
         ("scale", jint !scale);
         ("jobs", jint !jobs);
         ("traced", J (if !trace_file <> None then "true" else "false"));
@@ -509,6 +671,19 @@ let write_bench_json ~wall ~cpu () =
         ("experiments", Jarr (List.map experiment_json (collected_experiments ())));
         ("metrics", metrics_json ());
         ("micro_ns", Jobj (List.map (fun (n, ns) -> (n, jfloat ns)) !micro_ns));
+        ( "serve",
+          match !serve_stats with
+          | [] -> J "null" (* serveload did not run this invocation *)
+          | fs ->
+            Jobj
+              (List.map (fun (k, v) -> (k, jfloat v)) fs
+              @ [
+                  ( "by_status",
+                    Jobj
+                      (List.map
+                         (fun (s, n) -> (s, jint n))
+                         !serve_status_counts) );
+                ]) );
       ]
   in
   let b = Buffer.create 8192 in
@@ -644,6 +819,7 @@ let () =
       [
         ("table1", table1); ("fig10", fig10); ("fig11", fig11);
         ("sec46", sec46); ("detect", detect); ("ablation", ablation);
+        ("serveload", serveload);
       ]
   | names ->
     List.iter
@@ -656,6 +832,7 @@ let () =
         | "detect" -> artifact n detect
         | "ablation" -> artifact n ablation
         | "micro" -> artifact n micro
+        | "serveload" -> artifact n serveload
         | other -> Printf.eprintf "unknown artifact %s\n" other)
       names);
   Printf.printf "\n(total bench time: %.1fs wall / %.1fs cpu at scale %d, jobs %d)\n"

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""CI smoke for `usherc serve`: crash isolation end to end.
+
+Drives the daemon exactly as a client would — NDJSON over stdin/stdout —
+with >= 8 concurrent requests including one seeded worker crash, one
+over-budget program and one injected pipeline fault, then asserts:
+
+  * every clean request's reply is byte-identical (output AND code) to
+    its one-shot `usherc analyze` run;
+  * the seeded crash comes back `quarantined` (code 7) with an incident
+    artifact on disk, and the daemon keeps answering everything else;
+  * the over-budget request degrades inside its own fault domain (a
+    structured reply, not a hang or a crash);
+  * a saturated 1-worker/1-slot daemon sheds with `overloaded` (code 6);
+  * SIGTERM drains cleanly: exit 0, trace + metrics artifacts written.
+
+Usage: python3 ci/serve_smoke.py path/to/usherc.exe
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+
+USHERC = sys.argv[1] if len(sys.argv) > 1 else "_build/default/bin/usherc.exe"
+BENCHES = ["164.gzip", "197.parser", "181.mcf"]
+
+
+def usherc(args, **kw):
+    return subprocess.run([USHERC] + args, capture_output=True, text=True, **kw)
+
+
+def read_replies(proc, want, deadline_s=120):
+    """Read NDJSON reply lines until `want` ids are seen (skips any
+    non-JSON operator chatter)."""
+    replies = {}
+    deadline = time.monotonic() + deadline_s
+    while len(replies) < want:
+        assert time.monotonic() < deadline, (
+            f"timed out with {len(replies)}/{want} replies: {sorted(replies)}"
+        )
+        line = proc.stdout.readline()
+        assert line, f"daemon closed stdout with {len(replies)}/{want} replies"
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        rid = r["id"]
+        assert rid not in replies, f"duplicate reply for {rid}"
+        replies[rid] = r
+    return replies
+
+
+def drain(proc):
+    """SIGTERM, then close stdin; the daemon must drain and exit 0."""
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, f"drain exit {proc.returncode}\nstderr: {err}"
+    return out, err
+
+
+def main():
+    # -- one-shot expectations (the byte-identity oracle) ----------------
+    sources = {}
+    for b in BENCHES:
+        gen = usherc(["gen", b, "--scale", "5"])
+        assert gen.returncode == 0, gen.stderr
+        sources[b] = gen.stdout
+        with open(f"smoke-{b}.tc", "w") as f:
+            f.write(gen.stdout)
+
+    expect = {}  # rid -> (exit code, stdout bytes)
+    reqs = []
+    i = 0
+    for b in BENCHES:
+        for variant in ["usher", "msan"]:
+            i += 1
+            rid = f"clean{i}"
+            one = usherc(["analyze", f"smoke-{b}.tc", "-v", variant])
+            assert one.returncode == 0, one.stderr
+            expect[rid] = (one.returncode, one.stdout)
+            reqs.append(
+                {"id": rid, "cmd": "analyze", "source": sources[b], "variant": variant}
+            )
+    # the three adversaries, interleaved among the clean requests
+    reqs.insert(2, {"id": "crash", "cmd": "run", "source": sources["164.gzip"],
+                    "crash_worker": 99})
+    reqs.insert(4, {"id": "overbudget", "cmd": "analyze",
+                    "source": sources["197.parser"], "budget_ms": 1})
+    reqs.insert(6, {"id": "inject", "cmd": "analyze",
+                    "source": sources["181.mcf"], "inject": ["andersen=crash"]})
+    assert len(reqs) >= 8, len(reqs)
+
+    # -- phase 1: crash isolation + byte identity ------------------------
+    proc = subprocess.Popen(
+        [USHERC, "serve", "-j", "3", "--incident-dir", "serve-incidents",
+         "--trace", "serve-trace.json", "--metrics"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    for r in reqs:
+        proc.stdin.write(json.dumps(r) + "\n")
+    proc.stdin.flush()
+    replies = read_replies(proc, len(reqs))
+    tail_out, _ = drain(proc)
+
+    crash = replies["crash"]
+    assert crash["status"] == "quarantined" and crash["code"] == 7, crash
+    assert "incident recorded at" in crash["error"], crash
+    inc = subprocess.run(["ls", "serve-incidents"], capture_output=True, text=True)
+    assert "incident-worker-crash-" in inc.stdout, inc.stdout
+
+    over = replies["overbudget"]
+    assert over["status"] in ("ok", "detected"), over
+    assert "degrade" in over.get("output", ""), over
+
+    inj = replies["inject"]
+    assert inj["status"] == "ok" and "degrad" in inj.get("output", ""), inj
+
+    for rid, (code, out) in expect.items():
+        r = replies[rid]
+        assert r["code"] == code, (rid, r["code"], code)
+        assert r.get("output", "") == out, (
+            f"{rid}: served output is not byte-identical to the one-shot run"
+        )
+    print(f"phase 1 OK: {len(expect)} byte-identical replies around a "
+          f"quarantined crash, an over-budget degrade and an injected fault")
+
+    # trace + metrics artifacts
+    trace = json.load(open("serve-trace.json"))
+    assert any(e.get("name", "").startswith("serve.") for e in trace["traceEvents"]), \
+        "no serve spans in trace"
+    assert "serve.requests" in tail_out, "metrics block missing from drain output"
+    with open("serve-metrics.txt", "w") as f:
+        f.write(tail_out)
+
+    # -- phase 2: backpressure -------------------------------------------
+    proc = subprocess.Popen(
+        [USHERC, "serve", "-j", "1", "--max-queue", "1",
+         "--incident-dir", "serve-incidents"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    burst = [{"id": "hold", "cmd": "run", "source": sources["164.gzip"],
+              "sleep_ms": 1500}]
+    burst += [{"id": f"b{k}", "cmd": "run", "source": sources["164.gzip"]}
+              for k in range(4)]
+    for r in burst:
+        proc.stdin.write(json.dumps(r) + "\n")
+    proc.stdin.flush()
+    replies = read_replies(proc, len(burst))
+    drain(proc)
+    shed = [r for r in replies.values() if r["status"] == "overloaded"]
+    assert shed and all(r["code"] == 6 for r in shed), replies
+    assert replies["hold"]["status"] in ("ok", "detected"), replies["hold"]
+    print(f"phase 2 OK: {len(shed)}/{len(burst)} shed with overloaded, "
+          f"holder finished, SIGTERM drained exit 0")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,18 +15,21 @@ type kind =
   | Precision_regression
   | Behavior_divergence
   | Static_violation
+  | Worker_crash
 
 let kind_name = function
   | Soundness_miss -> "soundness-miss"
   | Precision_regression -> "precision-regression"
   | Behavior_divergence -> "behavior-divergence"
   | Static_violation -> "static-violation"
+  | Worker_crash -> "worker-crash"
 
 let kind_of_name = function
   | "soundness-miss" -> Some Soundness_miss
   | "precision-regression" -> Some Precision_regression
   | "behavior-divergence" -> Some Behavior_divergence
   | "static-violation" -> Some Static_violation
+  | "worker-crash" -> Some Worker_crash
   | _ -> None
 
 type t = {
@@ -220,9 +223,19 @@ let of_string (s : string) : (t, string) result =
 let ensure_dir (dir : string) : unit =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 
-(* Atomic write: the artifact appears fully written or not at all. *)
+(* Atomic write: the artifact appears fully written or not at all. The
+   temp name must be unique per writer — the daemon makes concurrent
+   writers to the same path a reality, and two writers sharing one fixed
+   ".tmp" can interleave (A opens, B opens and truncates, A renames B's
+   half-written bytes into place). PID + a process-wide ticket keeps
+   domains and processes apart; rename stays the only visible step. *)
+let tmp_ticket = Atomic.make 0
+
 let write_atomic ~(path : string) (contents : string) : unit =
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_ticket 1)
+  in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -255,10 +268,15 @@ let load (path : string) : (t, string) result =
 let load_dir (dir : string) : t list * (string * string) list =
   if not (Sys.file_exists dir) then ([], [])
   else begin
+    (* Only finished artifacts: a ".tmp.<pid>.<n>" left behind by a
+       kill -9 mid-write must not be parsed (or reported as corrupt) on
+       restart — it was never published. *)
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f ->
-             String.length f > 9 && String.sub f 0 9 = "incident-")
+             String.length f > 9
+             && String.sub f 0 9 = "incident-"
+             && Filename.check_suffix f ".txt")
       |> List.sort compare
     in
     List.fold_left

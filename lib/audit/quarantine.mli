@@ -13,8 +13,14 @@ val load : string -> entry list
 (** Atomically (re)write the list. *)
 val save : string -> entry list -> unit
 
+(** Run [f] with the directory's quarantine write lock held: a
+    process-local mutex (excludes other domains) plus an fcntl lock on
+    "quarantine.lock" (excludes other processes). *)
+val with_lock : string -> (unit -> 'a) -> 'a
+
 (** Merge new entries (first incident per function wins); returns the
-    entries actually added. *)
+    entries actually added. Safe under concurrent writers: the whole
+    read-modify-write runs under {!with_lock}. *)
 val add : string -> entry list -> entry list
 
 (** Knobs with the given entries appended to [knobs.quarantine]. *)

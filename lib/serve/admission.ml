@@ -1,0 +1,72 @@
+(* Server-level admission control: shed early, shed loudly.
+
+   Two watermarks guard the pool. Queue depth bounds how many admitted
+   requests can be waiting (tail latency: a request that would sit
+   behind a long queue is better told "overloaded" in microseconds than
+   served in minutes). The in-flight wall-clock budget bounds the total
+   deadline mass the server has promised: every admitted request is
+   granted a [Diag.Budget] deadline (its own ask, capped by the server
+   default), the grant is accounted here, and new work is shed while
+   the outstanding grants exceed the watermark. Admission runs
+   synchronously on the intake thread — a shed reply never touches the
+   pool, which is what makes the "overloaded within the admission
+   deadline" property testable. *)
+
+type config = {
+  max_queue : int;        (* queued-request watermark *)
+  max_inflight_ms : int;  (* total granted-deadline watermark *)
+  default_budget_ms : int; (* deadline granted when the request has no ask *)
+}
+
+let default_config =
+  { max_queue = 32; max_inflight_ms = 120_000; default_budget_ms = 10_000 }
+
+type t = {
+  cfg : config;
+  inflight_ms : int Atomic.t; (* sum of granted, not-yet-released budgets *)
+}
+
+type verdict =
+  | Admit of int  (* granted wall-clock budget, ms *)
+  | Shed of string
+
+let m_shed = Obs.Metrics.counter "serve.shed"
+let g_queue = Obs.Metrics.gauge "serve.queue_depth"
+let g_inflight_ms = Obs.Metrics.gauge "serve.inflight_budget_ms"
+
+let create (cfg : config) : t = { cfg; inflight_ms = Atomic.make 0 }
+
+let granted_ms (t : t) (requested : int option) : int =
+  match requested with
+  | Some ms when ms > 0 -> min ms t.cfg.default_budget_ms
+  | Some _ | None -> t.cfg.default_budget_ms
+
+(** Decide a request's fate given the current queue depth. On [Admit g]
+    the grant [g] is accounted until {!release}d. *)
+let admit (t : t) ~(queue_depth : int) ~(requested_ms : int option) : verdict =
+  Obs.Metrics.set g_queue (float_of_int queue_depth);
+  if queue_depth >= t.cfg.max_queue then begin
+    Obs.Metrics.incr m_shed;
+    Shed
+      (Printf.sprintf "queue depth %d at watermark %d" queue_depth
+         t.cfg.max_queue)
+  end
+  else begin
+    let g = granted_ms t requested_ms in
+    let outstanding = Atomic.fetch_and_add t.inflight_ms g in
+    if outstanding + g > t.cfg.max_inflight_ms then begin
+      ignore (Atomic.fetch_and_add t.inflight_ms (-g));
+      Obs.Metrics.incr m_shed;
+      Shed
+        (Printf.sprintf "in-flight budget %dms at watermark %dms"
+           (outstanding + g) t.cfg.max_inflight_ms)
+    end
+    else begin
+      Obs.Metrics.set g_inflight_ms (float_of_int (outstanding + g));
+      Admit g
+    end
+  end
+
+let release (t : t) (granted : int) : unit =
+  let now = Atomic.fetch_and_add t.inflight_ms (-granted) - granted in
+  Obs.Metrics.set g_inflight_ms (float_of_int (max 0 now))

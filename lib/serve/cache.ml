@@ -1,0 +1,69 @@
+(* Content-hashed reply cache.
+
+   Key = MD5 of everything that determines a request's reply: command,
+   optimization level, variant, the full knob fingerprint (budgets,
+   ablations, injected faults, quarantine list) and the program source
+   itself. Hashing the source *is* the invalidation: an edited program
+   hashes to a new key, and stale entries for the old hash age out of
+   the FIFO ring. What's cached is the finished reply (exit code +
+   rendered output), which the byte-identity guarantee makes exactly as
+   good as re-running the pipeline — and the cached bytes are provably
+   identical to a one-shot run because they were produced by one.
+
+   Single-writer discipline: all mutation happens under [mu], and an
+   insert never overwrites — the first worker to finish a given key
+   wins and every later writer is a no-op. Concurrent workers may both
+   *compute* the same key once (a benign duplicated miss), but a reader
+   can never observe a half-written entry. The cache is memory-only:
+   kill -9 leaves no artifact to corrupt. *)
+
+type entry = { code : int; output : string }
+
+type t = {
+  mu : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  order : string Queue.t; (* insertion order, for FIFO eviction *)
+  cap : int;
+}
+
+let m_hits = Obs.Metrics.counter "serve.cache_hits"
+let m_misses = Obs.Metrics.counter "serve.cache_misses"
+let m_evictions = Obs.Metrics.counter "serve.cache_evictions"
+
+let create ~(cap : int) : t =
+  {
+    mu = Mutex.create ();
+    tbl = Hashtbl.create (max 16 cap);
+    order = Queue.create ();
+    cap = max 0 cap;
+  }
+
+let key ~(cmd : string) ~(level : string) ~(variant : string)
+    ~(knobs_fp : string) ~(src : string) : string =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ cmd; level; variant; knobs_fp; src ]))
+
+let find (t : t) (k : string) : entry option =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some e ->
+        Obs.Metrics.incr m_hits;
+        Some e
+      | None ->
+        Obs.Metrics.incr m_misses;
+        None)
+
+let store (t : t) (k : string) (e : entry) : unit =
+  if t.cap > 0 then
+    Mutex.protect t.mu (fun () ->
+        if not (Hashtbl.mem t.tbl k) then begin
+          while Queue.length t.order >= t.cap do
+            let old = Queue.pop t.order in
+            Hashtbl.remove t.tbl old;
+            Obs.Metrics.incr m_evictions
+          done;
+          Hashtbl.replace t.tbl k e;
+          Queue.push k t.order
+        end)
+
+let size (t : t) : int = Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)

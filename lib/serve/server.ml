@@ -1,0 +1,487 @@
+(* The analyze-as-a-service daemon.
+
+   One server = one intake loop (stdin or a Unix socket) feeding a
+   work-stealing pool of worker domains ([Usher.Pool]). Each request is
+   its own fault domain:
+
+   - its granted [Diag.Budget] deadline is written into the knobs, so an
+     over-budget program degrades *inside its own request* through the
+     existing resilience ladder instead of hanging a worker;
+   - an exception escaping a handler is retried with exponential backoff
+     ([config.retries] times) and then quarantined: a [Worker_crash]
+     incident is filed through the audit machinery and the client gets a
+     structured [quarantined] reply — the server never dies;
+   - structured failures ([Diag.Error], interpreter traps, unknown
+     benchmarks) are deterministic, so they skip the retry loop and
+     come back as [error] immediately.
+
+   Backpressure is synchronous: [Admission.admit] runs on the intake
+   thread, so a shed request turns into an [overloaded] reply without
+   ever touching the pool. Graceful drain ([drain], wired to SIGTERM by
+   the CLI) stops intake, gives in-flight work [config.drain_ms] to
+   finish, sheds whatever is still queued (workers cannot be killed —
+   in-flight requests are bounded by their own granted deadlines), and
+   joins the pool. *)
+
+type config = {
+  jobs : int;                 (* worker domains *)
+  admission : Admission.config;
+  retries : int;              (* transient-crash retries before quarantine *)
+  retry_backoff_ms : int;     (* base backoff; doubles per attempt *)
+  cache_cap : int;            (* reply-cache entries; 0 disables *)
+  incident_dir : string;      (* quarantine/incident artifacts *)
+  drain_ms : int;             (* grace for in-flight work on drain *)
+  knobs : Usher.Config.knobs; (* server defaults; request fields override *)
+}
+
+let default_config =
+  {
+    jobs = 4;
+    admission = Admission.default_config;
+    retries = 2;
+    retry_backoff_ms = 10;
+    cache_cap = 256;
+    incident_dir = "_incidents";
+    drain_ms = 5_000;
+    knobs = Usher.Config.default_knobs;
+  }
+
+type t = {
+  cfg : config;
+  pool : Usher.Pool.t;
+  adm : Admission.t;
+  cache : Cache.t;
+  out_mu : Mutex.t;          (* one reply line at a time, never torn *)
+  draining : bool Atomic.t;  (* set: intake refuses new requests *)
+  shed_queued : bool Atomic.t; (* set: queued tasks shed on entry *)
+}
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_replies = Obs.Metrics.counter "serve.replies"
+let m_retries = Obs.Metrics.counter "serve.retries"
+let m_quarantined = Obs.Metrics.counter "serve.quarantined"
+let m_errors = Obs.Metrics.counter "serve.errors"
+let h_latency = Obs.Metrics.histogram "serve.request_us"
+
+(* Test hook: [crash_worker N] requests raise this on their first N
+   attempts, exercising retry and quarantine deterministically. *)
+exception Worker_killed of int
+
+(* kill -9 can strand an atomic-write temp file; they are never loaded
+   (the loader requires the final name) but sweeping them on startup
+   keeps the artifact directory clean. *)
+let sweep_stale_tmp (dir : string) : unit =
+  let is_tmp f =
+    let inf = ".tmp." in
+    let n = String.length f and m = String.length inf in
+    let rec at i = i + m <= n && (String.sub f i m = inf || at (i + 1)) in
+    at 0
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun f ->
+        if is_tmp f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      entries
+
+let create (cfg : config) : t =
+  sweep_stale_tmp cfg.incident_dir;
+  {
+    cfg;
+    pool = Usher.Pool.create ~name:"serve" ~jobs:cfg.jobs ();
+    adm = Admission.create cfg.admission;
+    cache = Cache.create ~cap:cfg.cache_cap;
+    out_mu = Mutex.create ();
+    draining = Atomic.make false;
+    shed_queued = Atomic.make false;
+  }
+
+let send (t : t) ~(out : string -> unit) (r : Protocol.reply) : unit =
+  Obs.Metrics.incr m_replies;
+  Mutex.protect t.out_mu (fun () -> out (Protocol.reply_to_line r))
+
+(* Everything that can change a reply, for the cache key. The summary
+   from the audit loop covers the ablation switches; the rest is the
+   budget/fuel envelope and injected faults. *)
+let knobs_fp (k : Usher.Config.knobs) : string =
+  let opt = function Some v -> string_of_int v | None -> "-" in
+  Printf.sprintf "%s budget=%s fuel=%s cap=%s rfuel=%s verify=%b inject=[%s]"
+    (Audit.Loop.knobs_summary k)
+    (opt k.Usher.Config.budget_ms)
+    (opt k.solver_fuel) (opt k.vfg_node_cap) (opt k.resolve_fuel) k.verify
+    (String.concat ";" (List.map Usher.Fault.to_string k.inject))
+
+let knobs_for (cfg : config) (req : Protocol.request) ~(granted_ms : int) :
+    Usher.Config.knobs =
+  let pick o d = match o with Some _ -> o | None -> d in
+  let k = cfg.knobs in
+  let k =
+    {
+      k with
+      Usher.Config.solver_fuel = pick req.Protocol.solver_fuel k.solver_fuel;
+      vfg_node_cap = pick req.vfg_cap k.vfg_node_cap;
+      resolve_fuel = pick req.resolve_fuel k.resolve_fuel;
+      verify = k.verify || req.verify;
+      inject = req.inject;
+    }
+  in
+  Usher.Budget.admit_ms k granted_ms
+
+let run_handler (t : t) (req : Protocol.request)
+    ~(knobs : Usher.Config.knobs) : int * string =
+  let b = Buffer.create 1024 in
+  let code =
+    match req.Protocol.cmd with
+    | Protocol.Analyze ->
+      Handlers.analyze ~knobs ~level:req.level ~variant:req.variant b
+        (Option.get req.source)
+    | Protocol.Run ->
+      Handlers.run ~knobs ~level:req.level ~variant:req.variant b
+        (Option.get req.source)
+    | Protocol.Check ->
+      Handlers.check ~knobs ~level:req.level ~incident_dir:t.cfg.incident_dir
+        b (Option.get req.source)
+    | Protocol.Bench ->
+      Handlers.bench ~knobs ~level:req.level ~scale:req.scale b
+        (Option.get req.bench)
+    | Protocol.Stats | Protocol.Ping -> assert false (* handled inline *)
+  in
+  (code, Buffer.contents b)
+
+type outcome =
+  | Done of int * string * int    (* exit code, output, retries used *)
+  | Failed of string * int        (* deterministic failure: no retry *)
+  | Crashed of string * int       (* crashed past the retry cap *)
+
+let attempt_request (t : t) (req : Protocol.request)
+    ~(knobs : Usher.Config.knobs) : outcome =
+  let rec attempt n =
+    match
+      if req.Protocol.crash_worker >= n then raise (Worker_killed n);
+      run_handler t req ~knobs
+    with
+    | code, output -> Done (code, output, n - 1)
+    | exception Diag.Error d -> Failed (Diag.to_string d, n - 1)
+    | exception Runtime.Interp.Runtime_error m ->
+      Failed ("runtime: " ^ m, n - 1)
+    | exception Runtime.Interp.Resource_exhausted { what; limit } ->
+      Failed (Printf.sprintf "runtime: %s limit %d exhausted" what limit, n - 1)
+    | exception Not_found ->
+      Failed
+        (Printf.sprintf "unknown benchmark %S"
+           (Option.value ~default:"" req.bench), n - 1)
+    | exception e ->
+      if n > t.cfg.retries then Crashed (Printexc.to_string e, n - 1)
+      else begin
+        Obs.Metrics.incr m_retries;
+        Unix.sleepf
+          (float_of_int (t.cfg.retry_backoff_ms * (1 lsl (n - 1))) /. 1000.);
+        attempt (n + 1)
+      end
+  in
+  attempt 1
+
+let quarantine_crash (t : t) (req : Protocol.request)
+    ~(knobs : Usher.Config.knobs) ~(msg : string) ~(retries : int) : string =
+  Obs.Metrics.incr m_quarantined;
+  let inc =
+    Audit.Incident.make ~kind:Audit.Incident.Worker_crash
+      ~variant:(Protocol.cmd_name req.cmd) ~seed:0 ~mutation:req.id
+      ~functions:[] ~labels:[] ~knobs:(knobs_fp knobs)
+      ~source:
+        (match req.source with
+        | Some s -> s
+        | None -> Option.value ~default:"" req.bench)
+      ()
+  in
+  let path = Audit.Incident.save ~dir:t.cfg.incident_dir inc in
+  Printf.sprintf "worker crashed %d time(s): %s; incident recorded at %s"
+    (retries + 1) msg path
+
+(* Runs on a pool worker domain. The request is a fault domain: every
+   failure mode below ends in exactly one reply, and nothing escapes to
+   the pool (whose own [on_exn] is only a last-resort backstop). *)
+let execute (t : t) ~(out : string -> unit) (req : Protocol.request)
+    ~(granted_ms : int) : unit =
+  let t0 = Obs.Clock.now_ns () in
+  let finish (r : Protocol.reply) =
+    let elapsed_ms = float_of_int (Obs.Clock.now_ns () - t0) /. 1e6 in
+    Obs.Metrics.observe h_latency (int_of_float (elapsed_ms *. 1000.));
+    send t ~out { r with Protocol.elapsed_ms }
+  in
+  Fun.protect
+    ~finally:(fun () -> Admission.release t.adm granted_ms)
+    (fun () ->
+      try
+        if Atomic.get t.shed_queued then
+          finish
+            (Protocol.reply ~id:req.id ~error:"shed during drain"
+               Protocol.Soverloaded)
+        else
+          Obs.Trace.with_span ~cat:"serve"
+            ("serve." ^ Protocol.cmd_name req.cmd)
+            (fun () ->
+              if req.sleep_ms > 0 then
+                Unix.sleepf (float_of_int req.sleep_ms /. 1000.);
+              let knobs = knobs_for t.cfg req ~granted_ms in
+              (* check has an artifact side effect (violation incidents),
+                 so a cached reply would not be equivalent; test hooks
+                 and fault injection must always execute. *)
+              let cacheable =
+                req.inject = [] && req.crash_worker = 0
+                && req.cmd <> Protocol.Check
+              in
+              let key =
+                if not cacheable then None
+                else
+                  Some
+                    (Cache.key
+                       ~cmd:(Protocol.cmd_name req.cmd)
+                       ~level:(Optim.Pipeline.level_to_string req.level)
+                       ~variant:(Usher.Config.variant_name req.variant)
+                       ~knobs_fp:(knobs_fp knobs)
+                       ~src:
+                         (match req.cmd with
+                         | Protocol.Bench ->
+                           Printf.sprintf "bench:%s:%d"
+                             (Option.value ~default:"" req.bench)
+                             req.scale
+                         | _ -> Option.value ~default:"" req.source))
+              in
+              match Option.map (Cache.find t.cache) key |> Option.join with
+              | Some e ->
+                finish
+                  (Protocol.reply ~id:req.id ~output:e.Cache.output
+                     ~cached:true
+                     (Protocol.status_of_exit_code e.Cache.code))
+              | None -> (
+                match attempt_request t req ~knobs with
+                | Done (code, output, retries) ->
+                  Option.iter
+                    (fun k -> Cache.store t.cache k { Cache.code; output })
+                    key;
+                  finish
+                    (Protocol.reply ~id:req.id ~output ~retries
+                       (Protocol.status_of_exit_code code))
+                | Failed (msg, retries) ->
+                  Obs.Metrics.incr m_errors;
+                  finish
+                    (Protocol.reply ~id:req.id ~error:msg ~retries
+                       Protocol.Serror)
+                | Crashed (msg, retries) ->
+                  let error = quarantine_crash t req ~knobs ~msg ~retries in
+                  finish
+                    (Protocol.reply ~id:req.id ~error ~retries
+                       Protocol.Squarantined)))
+      with e ->
+        (* Reply construction itself failed; a silent drop would breach
+           the no-lost-replies contract, so send a bare error. *)
+        Obs.Metrics.incr m_errors;
+        finish
+          (Protocol.reply ~id:req.Protocol.id
+             ~error:("internal: " ^ Printexc.to_string e) Protocol.Serror))
+
+(* ---- stats ---- *)
+
+let stats_fields (t : t) : (string * Json.t) list =
+  let num i = Json.Num (float_of_int i) in
+  let wins =
+    List.map
+      (fun (name, c) -> (name, num (Obs.Metrics.counter_window c)))
+      [
+        ("requests", m_requests);
+        ("replies", m_replies);
+        ("shed", Obs.Metrics.counter "serve.shed");
+        ("retries", m_retries);
+        ("quarantined", m_quarantined);
+        ("errors", m_errors);
+        ("cache_hits", Obs.Metrics.counter "serve.cache_hits");
+        ("cache_misses", Obs.Metrics.counter "serve.cache_misses");
+      ]
+  in
+  [
+    ("jobs", num (Usher.Pool.jobs t.pool));
+    ("queue_depth", num (Usher.Pool.queued t.pool));
+    ("in_flight", num (Usher.Pool.in_flight t.pool));
+    ("cache_size", num (Cache.size t.cache));
+    ("window", Json.Obj wins);
+  ]
+
+(* ---- intake ---- *)
+
+let handle_line (t : t) ~(out : string -> unit) (line : string) : unit =
+  Obs.Metrics.incr m_requests;
+  match Protocol.parse_request line with
+  | Error e ->
+    (* best-effort id so the client can still match the failure *)
+    let id =
+      match Json.parse line with
+      | Ok j -> Option.value ~default:"" (Option.bind (Json.member "id" j) Json.str)
+      | Error _ -> ""
+    in
+    Obs.Metrics.incr m_errors;
+    send t ~out (Protocol.reply ~id ~error:e Protocol.Serror)
+  | Ok req -> (
+    match req.Protocol.cmd with
+    | Protocol.Ping ->
+      send t ~out
+        (Protocol.reply ~id:req.id ~extra:[ ("pong", Json.Bool true) ]
+           Protocol.Sok)
+    | Protocol.Stats ->
+      let extra = stats_fields t in
+      Obs.Metrics.reset_window ();
+      send t ~out (Protocol.reply ~id:req.id ~extra Protocol.Sok)
+    | _ ->
+      if Atomic.get t.draining then
+        send t ~out
+          (Protocol.reply ~id:req.id ~error:"server draining"
+             Protocol.Soverloaded)
+      else begin
+        match
+          Admission.admit t.adm
+            ~queue_depth:(Usher.Pool.queued t.pool)
+            ~requested_ms:req.budget_ms
+        with
+        | Admission.Shed reason ->
+          send t ~out
+            (Protocol.reply ~id:req.id ~error:reason Protocol.Soverloaded)
+        | Admission.Admit granted_ms ->
+          if
+            not
+              (Usher.Pool.submit t.pool (fun () ->
+                   execute t ~out req ~granted_ms))
+          then begin
+            Admission.release t.adm granted_ms;
+            send t ~out
+              (Protocol.reply ~id:req.id ~error:"server stopping"
+                 Protocol.Soverloaded)
+          end
+      end)
+
+(* ---- drain ---- *)
+
+let begin_drain (t : t) : unit = Atomic.set t.draining true
+let draining (t : t) : bool = Atomic.get t.draining
+
+(** Stop intake, give in-flight work [drain_ms] to finish, shed whatever
+    is still queued, then join the pool. In-flight tasks past the grace
+    window are waited out — a domain cannot be killed — but each is
+    bounded by its own granted deadline. *)
+let drain (t : t) : unit =
+  begin_drain t;
+  let deadline =
+    Obs.Clock.now_s () +. (float_of_int t.cfg.drain_ms /. 1000.)
+  in
+  let busy () = Usher.Pool.queued t.pool + Usher.Pool.in_flight t.pool > 0 in
+  while busy () && Obs.Clock.now_s () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if busy () then Atomic.set t.shed_queued true;
+  Usher.Pool.shutdown t.pool
+
+(* ---- transports ---- *)
+
+let writer_of_fd (fd : Unix.file_descr) : string -> unit =
+ fun line ->
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> () (* client gone; reply dropped *)
+  in
+  go 0
+
+(* Split complete lines out of [acc], leaving a trailing partial line. *)
+let feed_lines (acc : Buffer.t) (handle : string -> unit) : unit =
+  let s = Buffer.contents acc in
+  Buffer.clear acc;
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from s !start '\n' in
+       let line = String.sub s !start (i - !start) in
+       start := i + 1;
+       if String.trim line <> "" then handle line
+     done
+   with Not_found -> ());
+  Buffer.add_substring acc s !start (n - !start)
+
+(** Read NDJSON requests from [fd] until EOF or {!begin_drain}; replies
+    go through [out]. The 50ms select timeout bounds how long a SIGTERM
+    waits to be noticed. *)
+let serve_fd (t : t) ~(out : string -> unit) (fd : Unix.file_descr) : unit =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let rec loop () =
+    if not (Atomic.get t.draining) then begin
+      match Unix.select [ fd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | 0 -> () (* EOF: caller drains *)
+        | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          feed_lines acc (handle_line t ~out);
+          loop ())
+    end
+  in
+  loop ()
+
+(** Accept connections on a Unix socket at [path]; each connection gets
+    NDJSON request/reply framing, replies routed back to its own fd.
+    Returns on {!begin_drain}. *)
+let serve_socket (t : t) (path : string) : unit =
+  (try Sys.remove path with Sys_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 64;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let conns : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn fd =
+    Hashtbl.remove conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    if not (Atomic.get t.draining) then begin
+      let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      match Unix.select fds [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = srv then begin
+              match Unix.accept srv with
+              | conn, _ -> Hashtbl.replace conns conn (Buffer.create 1024)
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error _ -> close_conn fd
+              | 0 -> close_conn fd
+              | n ->
+                let acc = Hashtbl.find conns fd in
+                Buffer.add_subbytes acc buf 0 n;
+                feed_lines acc (handle_line t ~out:(writer_of_fd fd)))
+          ready;
+        loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter
+        (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+        conns;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    loop

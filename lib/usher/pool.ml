@@ -1,0 +1,145 @@
+(* A persistent work-stealing pool of OCaml 5 domains.
+
+   Generalizes the one-shot domain fan-out that used to live inside
+   [Experiment.parallel_map] into a long-lived scheduler the service
+   daemon (lib/serve) can keep hot across requests. Each worker owns a
+   FIFO run queue; submission round-robins across queues, and an idle
+   worker steals from the longest other queue before sleeping. Tasks are
+   whole requests or whole benchmark experiments — milliseconds to
+   seconds of work — so queue operations take one shared mutex: the
+   stealing structure is about fairness and isolation, not lock
+   avoidance, and a single lock keeps the sleep/wake protocol free of
+   missed-signal races by construction.
+
+   Crash isolation: a task that raises never kills its worker domain.
+   The exception is handed to [on_exn] (default: counted and dropped)
+   and the worker moves on to the next task. Callers that need the
+   exception — the parallel_map refactor, the daemon's retry logic —
+   catch it inside their own task closure instead.
+
+   Shutdown is graceful by construction: [shutdown] stops admissions,
+   lets queued and in-flight tasks finish, then joins every domain. The
+   daemon implements "shed instead of finish" on top by flipping a flag
+   its tasks check on entry. *)
+
+type t = {
+  name : string;
+  mu : Mutex.t;
+  work : Condition.t;           (* workers sleep here *)
+  idle : Condition.t;           (* drain waiters sleep here *)
+  queues : (unit -> unit) Queue.t array;
+  mutable rr : int;             (* round-robin submission cursor *)
+  mutable queued_n : int;
+  mutable running_n : int;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t array;
+  on_exn : string -> exn -> Printexc.raw_backtrace -> unit;
+}
+
+let m_task_exns = Obs.Metrics.counter "pool.task_exceptions"
+
+let default_on_exn _name _e _bt = Obs.Metrics.incr m_task_exns
+
+(* Pop from own queue, else steal from the longest victim queue. Both
+   ends are FIFO (Queue.pop takes the oldest), so stealing preserves
+   rough submission order — what a request server wants. Caller holds
+   [t.mu]. *)
+let take (t : t) (w : int) : (unit -> unit) option =
+  if not (Queue.is_empty t.queues.(w)) then Some (Queue.pop t.queues.(w))
+  else begin
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let n = Queue.length q in
+        if i <> w && n > !best then begin
+          victim := i;
+          best := n
+        end)
+      t.queues;
+    if !victim >= 0 then Some (Queue.pop t.queues.(!victim)) else None
+  end
+
+let rec worker (t : t) (w : int) : unit =
+  Mutex.lock t.mu;
+  let rec next () =
+    match take t w with
+    | Some task ->
+      t.queued_n <- t.queued_n - 1;
+      t.running_n <- t.running_n + 1;
+      Some task
+    | None ->
+      if t.stopping then None
+      else begin
+        Condition.wait t.work t.mu;
+        next ()
+      end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mu
+  | Some task ->
+    Mutex.unlock t.mu;
+    (try task ()
+     with e -> t.on_exn t.name e (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mu;
+    t.running_n <- t.running_n - 1;
+    if t.queued_n = 0 && t.running_n = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.mu;
+    worker t w
+
+let create ?(name = "pool") ?(on_exn = default_on_exn) ~jobs () : t =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      name;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queues = Array.init jobs (fun _ -> Queue.create ());
+      rr = 0;
+      queued_n = 0;
+      running_n = 0;
+      stopping = false;
+      joined = false;
+      domains = [||];
+      on_exn;
+    }
+  in
+  t.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let jobs (t : t) : int = Array.length t.queues
+
+let submit (t : t) (task : unit -> unit) : bool =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    false
+  end
+  else begin
+    Queue.push task t.queues.(t.rr mod Array.length t.queues);
+    t.rr <- t.rr + 1;
+    t.queued_n <- t.queued_n + 1;
+    Condition.signal t.work;
+    Mutex.unlock t.mu;
+    true
+  end
+
+let queued (t : t) : int = Mutex.protect t.mu (fun () -> t.queued_n)
+let in_flight (t : t) : int = Mutex.protect t.mu (fun () -> t.running_n)
+
+let drain (t : t) : unit =
+  Mutex.lock t.mu;
+  while t.queued_n + t.running_n > 0 do
+    Condition.wait t.idle t.mu
+  done;
+  Mutex.unlock t.mu
+
+let shutdown (t : t) : unit =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  let join_here = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.mu;
+  if join_here then Array.iter Domain.join t.domains

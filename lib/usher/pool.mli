@@ -1,0 +1,39 @@
+(** A persistent work-stealing pool of OCaml 5 domains.
+
+    Each worker owns a FIFO queue; submission round-robins and idle
+    workers steal from the longest other queue, so rough submission
+    order survives and no worker idles while another has a backlog.
+    A task that raises never kills its worker: the exception goes to
+    [on_exn] (default: counted in the ["pool.task_exceptions"] metric
+    and dropped) and the worker continues — per-task crash isolation is
+    the pool's core contract. *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?on_exn:(string -> exn -> Printexc.raw_backtrace -> unit) ->
+  jobs:int ->
+  unit ->
+  t
+(** Spawn [max 1 jobs] worker domains. [on_exn] receives the pool name
+    and any exception escaping a task. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a task; [false] once {!shutdown} has begun (the task is not
+    accepted). Never blocks. *)
+
+val queued : t -> int
+(** Tasks admitted but not yet started. *)
+
+val in_flight : t -> int
+(** Tasks currently running. *)
+
+val drain : t -> unit
+(** Block until no task is queued or running. Does not stop admission. *)
+
+val shutdown : t -> unit
+(** Stop admitting, let queued and in-flight tasks finish, join every
+    worker domain. Idempotent-ish: a second call joins nothing. *)
