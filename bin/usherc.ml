@@ -587,6 +587,9 @@ let () =
   | exception Diag.Error d ->
     prerr_endline ("usherc: " ^ Diag.to_string d);
     exit 1
+  | exception Serve.Handlers.Unknown_bench name ->
+    prerr_endline ("usherc: unknown benchmark " ^ name);
+    exit 1
   | exception Runtime.Interp.Runtime_error msg ->
     prerr_endline ("usherc: runtime error: " ^ msg);
     exit 1

@@ -91,6 +91,7 @@ let add (c : counter) (n : int) =
 let incr (c : counter) = add c 1
 let counter_value (c : counter) = Atomic.get c.ccell
 let counter_window (c : counter) = Atomic.get c.cwin
+let counter_take_window (c : counter) = Atomic.exchange c.cwin 0
 
 let set (g : gauge) (v : float) = Atomic.set g.gcell v
 

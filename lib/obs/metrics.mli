@@ -27,7 +27,13 @@ val counter_value : counter -> int
 (** Lifetime ([Total]) value. *)
 
 val counter_window : counter -> int
-(** Value accumulated since the last {!reset_window}. *)
+(** Value accumulated since the last {!reset_window} (or
+    {!counter_take_window}). *)
+
+val counter_take_window : counter -> int
+(** Atomically read and zero the window value. Increments racing the
+    snapshot land in the next window instead of vanishing, so every
+    event is reported in exactly one window. *)
 
 val gauge : string -> gauge
 val set : gauge -> float -> unit

@@ -195,9 +195,17 @@ let check ~(knobs : Usher.Config.knobs) ~(level : Optim.Pipeline.level)
 
 (* ---- bench ---- *)
 
+(* A deterministic client error, distinct from bare [Not_found] so the
+   daemon's crash/retry classifier cannot confuse it with a stray
+   [Not_found] escaping the analysis pipeline. *)
+exception Unknown_bench of string
+
 let bench ~(knobs : Usher.Config.knobs) ~(level : Optim.Pipeline.level)
     ~(scale : int) (b : Buffer.t) (name : string) : int =
-  let p = Workloads.Spec2000.find name in
+  let p =
+    try Workloads.Spec2000.find name
+    with Not_found -> raise (Unknown_bench name)
+  in
   let src = Workloads.Spec2000.source ~scale p in
   match Usher.Experiment.run ~name ~level ~knobs src with
   | exception Usher.Experiment.Unsound msg ->

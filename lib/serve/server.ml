@@ -21,7 +21,10 @@
    the CLI) stops intake, gives in-flight work [config.drain_ms] to
    finish, sheds whatever is still queued (workers cannot be killed —
    in-flight requests are bounded by their own granted deadlines), and
-   joins the pool. *)
+   joins the pool. In socket mode, connection fds are refcounted
+   ([conn]): intake never closes an fd a worker still owes a reply to,
+   so drain delivers every admitted reply and a recycled fd number can
+   never be written by a stale request. *)
 
 type config = {
   jobs : int;                 (* worker domains *)
@@ -98,9 +101,27 @@ let create (cfg : config) : t =
     shed_queued = Atomic.make false;
   }
 
-let send (t : t) ~(out : string -> unit) (r : Protocol.reply) : unit =
+(* Where replies go. [write] delivers one reply line. [retain]/[release]
+   bracket a reply that will be written later from a pool worker, so a
+   transport with a closable endpoint (the socket transport) can pin the
+   endpoint open until every in-flight reply has been written — a worker
+   must never write a raw fd that intake already closed, because the
+   kernel can recycle the fd number for another client (or any file the
+   process opens) and the late reply would land there. Inline replies
+   from the intake thread need no bracket: intake holds its own
+   reference for the life of the connection. *)
+type sink = {
+  write : string -> unit;
+  retain : unit -> unit;
+  release : unit -> unit;
+}
+
+let sink_of_writer (write : string -> unit) : sink =
+  { write; retain = ignore; release = ignore }
+
+let send (t : t) ~(sink : sink) (r : Protocol.reply) : unit =
   Obs.Metrics.incr m_replies;
-  Mutex.protect t.out_mu (fun () -> out (Protocol.reply_to_line r))
+  Mutex.protect t.out_mu (fun () -> sink.write (Protocol.reply_to_line r))
 
 (* Everything that can change a reply, for the cache key. The summary
    from the audit loop covers the ablation switches; the rest is the
@@ -168,10 +189,10 @@ let attempt_request (t : t) (req : Protocol.request)
       Failed ("runtime: " ^ m, n - 1)
     | exception Runtime.Interp.Resource_exhausted { what; limit } ->
       Failed (Printf.sprintf "runtime: %s limit %d exhausted" what limit, n - 1)
-    | exception Not_found ->
-      Failed
-        (Printf.sprintf "unknown benchmark %S"
-           (Option.value ~default:"" req.bench), n - 1)
+    | exception Handlers.Unknown_bench name ->
+      (* deterministic client error; a stray [Not_found] escaping the
+         analysis pipeline falls through to the crash/retry path below *)
+      Failed (Printf.sprintf "unknown benchmark %S" name, n - 1)
     | exception e ->
       if n > t.cfg.retries then Crashed (Printexc.to_string e, n - 1)
       else begin
@@ -203,16 +224,18 @@ let quarantine_crash (t : t) (req : Protocol.request)
 (* Runs on a pool worker domain. The request is a fault domain: every
    failure mode below ends in exactly one reply, and nothing escapes to
    the pool (whose own [on_exn] is only a last-resort backstop). *)
-let execute (t : t) ~(out : string -> unit) (req : Protocol.request)
+let execute (t : t) ~(sink : sink) (req : Protocol.request)
     ~(granted_ms : int) : unit =
   let t0 = Obs.Clock.now_ns () in
   let finish (r : Protocol.reply) =
     let elapsed_ms = float_of_int (Obs.Clock.now_ns () - t0) /. 1e6 in
     Obs.Metrics.observe h_latency (int_of_float (elapsed_ms *. 1000.));
-    send t ~out { r with Protocol.elapsed_ms }
+    send t ~sink { r with Protocol.elapsed_ms }
   in
   Fun.protect
-    ~finally:(fun () -> Admission.release t.adm granted_ms)
+    ~finally:(fun () ->
+      Admission.release t.adm granted_ms;
+      sink.release ())
     (fun () ->
       try
         if Atomic.get t.shed_queued then
@@ -285,11 +308,15 @@ let execute (t : t) ~(out : string -> unit) (req : Protocol.request)
 
 (* ---- stats ---- *)
 
+(* The window counters are drained atomically (read-and-zero per cell)
+   rather than read and then globally reset: an increment from a worker
+   domain racing the snapshot lands in the next window instead of being
+   lost between the read and the reset. *)
 let stats_fields (t : t) : (string * Json.t) list =
   let num i = Json.Num (float_of_int i) in
   let wins =
     List.map
-      (fun (name, c) -> (name, num (Obs.Metrics.counter_window c)))
+      (fun (name, c) -> (name, num (Obs.Metrics.counter_take_window c)))
       [
         ("requests", m_requests);
         ("replies", m_replies);
@@ -311,7 +338,7 @@ let stats_fields (t : t) : (string * Json.t) list =
 
 (* ---- intake ---- *)
 
-let handle_line (t : t) ~(out : string -> unit) (line : string) : unit =
+let handle_request (t : t) ~(sink : sink) (line : string) : unit =
   Obs.Metrics.incr m_requests;
   match Protocol.parse_request line with
   | Error e ->
@@ -322,20 +349,18 @@ let handle_line (t : t) ~(out : string -> unit) (line : string) : unit =
       | Error _ -> ""
     in
     Obs.Metrics.incr m_errors;
-    send t ~out (Protocol.reply ~id ~error:e Protocol.Serror)
+    send t ~sink (Protocol.reply ~id ~error:e Protocol.Serror)
   | Ok req -> (
     match req.Protocol.cmd with
     | Protocol.Ping ->
-      send t ~out
+      send t ~sink
         (Protocol.reply ~id:req.id ~extra:[ ("pong", Json.Bool true) ]
            Protocol.Sok)
     | Protocol.Stats ->
-      let extra = stats_fields t in
-      Obs.Metrics.reset_window ();
-      send t ~out (Protocol.reply ~id:req.id ~extra Protocol.Sok)
+      send t ~sink (Protocol.reply ~id:req.id ~extra:(stats_fields t) Protocol.Sok)
     | _ ->
       if Atomic.get t.draining then
-        send t ~out
+        send t ~sink
           (Protocol.reply ~id:req.id ~error:"server draining"
              Protocol.Soverloaded)
       else begin
@@ -345,20 +370,25 @@ let handle_line (t : t) ~(out : string -> unit) (line : string) : unit =
             ~requested_ms:req.budget_ms
         with
         | Admission.Shed reason ->
-          send t ~out
+          send t ~sink
             (Protocol.reply ~id:req.id ~error:reason Protocol.Soverloaded)
         | Admission.Admit granted_ms ->
+          sink.retain ();
           if
             not
               (Usher.Pool.submit t.pool (fun () ->
-                   execute t ~out req ~granted_ms))
+                   execute t ~sink req ~granted_ms))
           then begin
+            sink.release ();
             Admission.release t.adm granted_ms;
-            send t ~out
+            send t ~sink
               (Protocol.reply ~id:req.id ~error:"server stopping"
                  Protocol.Soverloaded)
           end
       end)
+
+let handle_line (t : t) ~(out : string -> unit) (line : string) : unit =
+  handle_request t ~sink:(sink_of_writer out) line
 
 (* ---- drain ---- *)
 
@@ -416,8 +446,17 @@ let feed_lines (acc : Buffer.t) (handle : string -> unit) : unit =
     go through [out]. The 50ms select timeout bounds how long a SIGTERM
     waits to be noticed. *)
 let serve_fd (t : t) ~(out : string -> unit) (fd : Unix.file_descr) : unit =
+  let sink = sink_of_writer out in
   let buf = Bytes.create 65536 in
   let acc = Buffer.create 4096 in
+  (* A final line without a trailing newline is still a complete request
+     once EOF proves no more bytes are coming
+     (`printf '{"cmd":"ping"}' | usherc serve` gets its reply). *)
+  let flush_partial () =
+    let rest = Buffer.contents acc in
+    Buffer.clear acc;
+    if String.trim rest <> "" then handle_request t ~sink rest
+  in
   let rec loop () =
     if not (Atomic.get t.draining) then begin
       match Unix.select [ fd ] [] [] 0.05 with
@@ -426,18 +465,50 @@ let serve_fd (t : t) ~(out : string -> unit) (fd : Unix.file_descr) : unit =
       | _ -> (
         match Unix.read fd buf 0 (Bytes.length buf) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-        | 0 -> () (* EOF: caller drains *)
+        | 0 -> flush_partial () (* EOF: caller drains *)
         | n ->
           Buffer.add_subbytes acc buf 0 n;
-          feed_lines acc (handle_line t ~out);
+          feed_lines acc (handle_request t ~sink);
           loop ())
     end
   in
   loop ()
 
+(* A socket connection, shared between the intake thread and any pool
+   workers still owing it replies. The refcount — 1 for intake plus 1
+   per in-flight request — gates [Unix.close]: the fd can only close
+   once intake is done with it (client EOF, read error, or server
+   drain) AND its last admitted reply has been written. A recycled fd
+   number therefore can never receive another request's late reply, and
+   drain delivers every admitted reply before the fd goes away. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t; (* partial-line accumulator; intake thread only *)
+  c_mu : Mutex.t;
+  mutable c_refs : int;
+}
+
+let conn_release (c : conn) : unit =
+  let close_now =
+    Mutex.protect c.c_mu (fun () ->
+        c.c_refs <- c.c_refs - 1;
+        c.c_refs = 0)
+  in
+  if close_now then try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let sink_of_conn (c : conn) : sink =
+  {
+    write = writer_of_fd c.c_fd;
+    retain =
+      (fun () -> Mutex.protect c.c_mu (fun () -> c.c_refs <- c.c_refs + 1));
+    release = (fun () -> conn_release c);
+  }
+
 (** Accept connections on a Unix socket at [path]; each connection gets
     NDJSON request/reply framing, replies routed back to its own fd.
-    Returns on {!begin_drain}. *)
+    Returns on {!begin_drain} with intake stopped; connection fds stay
+    open until each connection's last in-flight reply is written — the
+    caller runs {!drain} next, which waits those replies out. *)
 let serve_socket (t : t) (path : string) : unit =
   (try Sys.remove path with Sys_error _ -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -445,10 +516,19 @@ let serve_socket (t : t) (path : string) : unit =
   Unix.listen srv 64;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let conns : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
-  let close_conn fd =
-    Hashtbl.remove conns fd;
-    try Unix.close fd with Unix.Unix_error _ -> ()
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  (* Intake is done with this connection: flush any unterminated final
+     line (EOF proves it is complete), then drop intake's reference.
+     The fd itself closes when the last reference does. *)
+  let forget_conn ?(flush = false) (c : conn) =
+    Hashtbl.remove conns c.c_fd;
+    if flush then begin
+      let rest = Buffer.contents c.c_buf in
+      Buffer.clear c.c_buf;
+      if String.trim rest <> "" then
+        handle_request t ~sink:(sink_of_conn c) rest
+    end;
+    conn_release c
   in
   let buf = Bytes.create 65536 in
   let rec loop () =
@@ -461,27 +541,39 @@ let serve_socket (t : t) (path : string) : unit =
           (fun fd ->
             if fd = srv then begin
               match Unix.accept srv with
-              | conn, _ -> Hashtbl.replace conns conn (Buffer.create 1024)
+              | conn_fd, _ ->
+                Hashtbl.replace conns conn_fd
+                  {
+                    c_fd = conn_fd;
+                    c_buf = Buffer.create 1024;
+                    c_mu = Mutex.create ();
+                    c_refs = 1;
+                  }
               | exception Unix.Unix_error _ -> ()
             end
             else
-              match Unix.read fd buf 0 (Bytes.length buf) with
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-              | exception Unix.Unix_error _ -> close_conn fd
-              | 0 -> close_conn fd
-              | n ->
-                let acc = Hashtbl.find conns fd in
-                Buffer.add_subbytes acc buf 0 n;
-                feed_lines acc (handle_line t ~out:(writer_of_fd fd)))
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some c -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | exception Unix.Unix_error _ -> forget_conn c
+                | 0 -> forget_conn ~flush:true c
+                | n ->
+                  Buffer.add_subbytes c.c_buf buf 0 n;
+                  feed_lines c.c_buf
+                    (handle_request t ~sink:(sink_of_conn c))))
           ready;
         loop ()
     end
   in
   Fun.protect
     ~finally:(fun () ->
-      Hashtbl.iter
-        (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
-        conns;
+      (* Stop accepting and release intake's reference on every live
+         connection; fds with in-flight replies stay open until their
+         workers release them during the caller's {!drain}. *)
       (try Unix.close srv with Unix.Unix_error _ -> ());
-      try Sys.remove path with Sys_error _ -> ())
+      (try Sys.remove path with Sys_error _ -> ());
+      Hashtbl.iter (fun _ c -> conn_release c) conns;
+      Hashtbl.reset conns)
     loop

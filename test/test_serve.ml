@@ -202,6 +202,24 @@ let metrics_window () =
     Alcotest.(check int) "hist window sum" 7 sw
   | _ -> Alcotest.fail "histogram missing from snapshot"
 
+(* take_window is an atomic read-and-zero: the value comes back exactly
+   once, and the lifetime total is untouched — the stats path uses this
+   so increments racing a snapshot land in the next window, never lost. *)
+let metrics_take_window () =
+  let c = Obs.Metrics.counter "test.serve.take_window" in
+  let base_total = Obs.Metrics.counter_value c in
+  Obs.Metrics.add c 3;
+  Alcotest.(check int) "take returns the window" 3
+    (Obs.Metrics.counter_take_window c);
+  Alcotest.(check int) "window drained" 0 (Obs.Metrics.counter_window c);
+  Alcotest.(check int) "second take is empty" 0
+    (Obs.Metrics.counter_take_window c);
+  Alcotest.(check int) "total untouched" (base_total + 3)
+    (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "post-take increments accumulate" 1
+    (Obs.Metrics.counter_window c)
+
 (* ---- quarantine.list concurrent writers (satellite) ---- *)
 
 let quarantine_hammer () =
@@ -412,6 +430,108 @@ let server_cache_hit () =
       (reply_field l1 "output") (Some (Option.value ~default:"?" (reply_field l2 "output")))
   | ls -> Alcotest.failf "expected 2 replies, got %d" (List.length ls)
 
+(* An unknown benchmark is a deterministic client error: no retries
+   burned, no incident filed — and only [bench] maps to it (a stray
+   [Not_found] elsewhere takes the crash/retry path instead). *)
+let server_unknown_bench () =
+  with_tmpdir @@ fun dir ->
+  let t, out, collected = mk_server ~jobs:1 dir in
+  Serve.Server.handle_line t ~out {|{"id":"b0","cmd":"bench","bench":"999.nope"}|};
+  Serve.Server.drain t;
+  match collected () with
+  | [ line ] ->
+    Alcotest.(check string) "deterministic error" "error" (reply_status line);
+    (match Serve.Json.parse line with
+    | Ok j ->
+      Alcotest.(check (option int)) "no retries burned" (Some 0)
+        (Option.bind (Serve.Json.member "retries" j) Serve.Json.int_);
+      Alcotest.(check bool) "names the benchmark" true
+        (match reply_field line "error" with
+        | Some e ->
+          let needle = "unknown benchmark" in
+          let n = String.length e and m = String.length needle in
+          let rec at i = i + m <= n && (String.sub e i m = needle || at (i + 1)) in
+          at 0
+        | None -> false)
+    | Error e -> Alcotest.failf "bad reply: %s" e);
+    let incidents, _ = Audit.Incident.load_dir dir in
+    Alcotest.(check int) "no incident for a client error" 0
+      (List.length incidents)
+  | ls -> Alcotest.failf "expected 1 reply, got %d" (List.length ls)
+
+(* A final request line without a trailing newline is completed by EOF:
+   `printf '{"cmd":"ping"}' | usherc serve` must still get its reply. *)
+let serve_fd_eof_partial_line () =
+  with_tmpdir @@ fun dir ->
+  let t, out, collected = mk_server ~jobs:1 dir in
+  let r, w = Unix.pipe () in
+  let req = {|{"id":"p1","cmd":"ping"}|} in
+  ignore (Unix.write_substring w req 0 (String.length req));
+  Unix.close w;
+  Serve.Server.serve_fd t ~out r;
+  Unix.close r;
+  Serve.Server.drain t;
+  match collected () with
+  | [ line ] ->
+    Alcotest.(check string) "partial line answered" "p1" (reply_id line);
+    Alcotest.(check string) "pong" "ok" (reply_status line)
+  | ls -> Alcotest.failf "expected 1 reply, got %d" (List.length ls)
+
+(* Socket-mode drain delivers in-flight replies: the connection fd must
+   survive serve_socket's return (intake stopped) until the worker has
+   written the admitted reply — only then does it close. Regression for
+   the fd-close-before-reply (and fd-reuse) race. *)
+let serve_socket_drain_delivers () =
+  with_tmpdir @@ fun dir ->
+  let t, _, _ = mk_server ~jobs:1 dir in
+  let path = Filename.concat dir "sock" in
+  let srv = Domain.spawn (fun () -> Serve.Server.serve_socket t path) in
+  let rec await_file n =
+    if not (Sys.file_exists path) then
+      if n = 0 then Alcotest.fail "socket never appeared"
+      else (Unix.sleepf 0.01; await_file (n - 1))
+  in
+  await_file 500;
+  let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect c (Unix.ADDR_UNIX path);
+  let req =
+    req_json ~id:"sd1" ~cmd:"run" ~source:src_clean
+      ~extra:{|,"sleep_ms":300|} ()
+    ^ "\n"
+  in
+  ignore (Unix.write_substring c req 0 (String.length req));
+  (* wait until the request is admitted, then pull the plug *)
+  let pool = t.Serve.Server.pool in
+  let rec await_inflight n =
+    if Usher.Pool.queued pool + Usher.Pool.in_flight pool = 0 then
+      if n = 0 then Alcotest.fail "request never admitted"
+      else (Unix.sleepf 0.01; await_inflight (n - 1))
+  in
+  await_inflight 500;
+  Serve.Server.begin_drain t;
+  Domain.join srv;
+  Serve.Server.drain t;
+  (* after drain the reply is on the wire and the fd closed: read to EOF *)
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec slurp () =
+    match Unix.read c chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      slurp ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ()
+  in
+  slurp ();
+  Unix.close c;
+  match String.split_on_char '\n' (String.trim (Buffer.contents b)) with
+  | [ line ] ->
+    Alcotest.(check string) "in-flight reply delivered through drain" "sd1"
+      (reply_id line);
+    Alcotest.(check string) "and it is the real result" "ok"
+      (reply_status line)
+  | ls -> Alcotest.failf "expected exactly 1 reply line, got %d" (List.length ls)
+
 (* ---- qcheck properties ---- *)
 
 (* (a) A worker raising mid-request never loses or reorders other
@@ -585,8 +705,12 @@ let suites =
     ( "serve.admission",
       [ Alcotest.test_case "watermarks and release" `Quick admission_watermarks ] );
     ( "serve.metrics",
-      [ Alcotest.test_case "window track resets, total survives" `Quick
-          metrics_window ] );
+      [
+        Alcotest.test_case "window track resets, total survives" `Quick
+          metrics_window;
+        Alcotest.test_case "take_window drains atomically" `Quick
+          metrics_take_window;
+      ] );
     ( "serve.quarantine",
       [ Alcotest.test_case "4-domain writer hammer" `Quick quarantine_hammer ] );
     ( "serve.pool",
@@ -601,6 +725,12 @@ let suites =
           server_error_no_retry;
         Alcotest.test_case "reply cache hit is byte-identical" `Quick
           server_cache_hit;
+        Alcotest.test_case "unknown bench is a client error" `Quick
+          server_unknown_bench;
+        Alcotest.test_case "EOF completes an unterminated line" `Quick
+          serve_fd_eof_partial_line;
+        Alcotest.test_case "socket drain delivers in-flight replies" `Quick
+          serve_socket_drain_delivers;
       ] );
     ( "serve.properties",
       [ prop_no_lost_replies; prop_shed_within_deadline; prop_kill9_artifacts ]
