@@ -12,6 +12,9 @@
                                               analysis phases feeding each table
      dune exec bench/main.exe -- serveload -- load-generate against an
                                               in-process `usherc serve` daemon
+     dune exec bench/main.exe -- fuzz      -- a short deterministic fuzzing
+                                              campaign: generator + oracle
+                                              throughput, distillation yield
      dune exec bench/main.exe -- scale=60 fig10   -- override the input scale
    dune exec bench/main.exe -- --jobs 4 table1  -- run experiments on 4 domains
                                                    (also: jobs=4, or BENCH_JOBS)
@@ -23,13 +26,15 @@
                                                    every analysis (also:
                                                    verify=true)
 
-   Every invocation also writes BENCH_usher.json (schema usher-bench/4):
+   Every invocation also writes BENCH_usher.json (schema usher-bench/5):
    per-phase wall times, peak heap, deterministic work counters, the
    process-wide Obs.Metrics snapshot, per-variant instrumentation
    statistics, (under --verify) per-checker certificate times and
-   violation counts, and (under serveload) server health — per-request
+   violation counts, (under serveload) server health — per-request
    latency percentiles plus shed/retry/quarantine/cache counts from the
-   load-generator run — for whatever artifacts ran; see EXPERIMENTS.md.
+   load-generator run — and (under fuzz) fuzzing-campaign throughput:
+   programs/s through the generator, oracle audits/s, and the distilled
+   corpus yield — for whatever artifacts ran; see EXPERIMENTS.md.
    [--baseline FILE] fails the run if solve_iterations or
    states_explored regressed >20%% against the checked-in counters;
    [--update-baseline FILE] rewrites them. [--trace FILE] additionally
@@ -518,8 +523,77 @@ let serveload () =
   | exception Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* fuzz: a short stock fuzzing campaign through the full differential
+   oracle, measuring end-to-end throughput — programs generated per
+   second of campaign wall time, oracle audits per second of summed
+   oracle time — and the corpus-distillation yield. The campaign is the
+   same code path as `usherc fuzz`, so this doubles as a regression
+   gate: a stock campaign finding a soundness incident fails the
+   bench run outright (the fuzzer found a sanitizer hole). *)
+
+let fuzz_stats : (string * float) list ref = ref []
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let fuzzload () =
+  Printf.printf "\n== fuzz: generative differential campaign throughput ==\n";
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "usher-fuzzbench-%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Audit.Fuzz.default_config with
+      count = 60;
+      seed = 1;
+      jobs = !jobs;
+      dir = Filename.concat tmp "incidents";
+      corpus = Some (Filename.concat tmp "corpus");
+      distill = true;
+    }
+  in
+  let s = Audit.Fuzz.run cfg in
+  let programs_per_s =
+    float_of_int s.generated /. Float.max 1e-9 s.elapsed_s
+  in
+  let oracle_per_s = float_of_int s.audited /. Float.max 1e-9 s.oracle_s in
+  Printf.printf
+    "  %d generated, %d audited, %d skipped in %.2fs (%.0f programs/s)\n"
+    s.generated s.audited s.skipped s.elapsed_s programs_per_s;
+  Printf.printf
+    "  oracle: %.2fs summed (%.0f audits/s)  distilled %d (corpus %d)\n"
+    s.oracle_s oracle_per_s s.distilled s.corpus_total;
+  rm_rf tmp;
+  if s.soundness_incidents > 0 then begin
+    Printf.printf
+      "fuzz FAILED: stock campaign found %d soundness incident(s)\n"
+      s.soundness_incidents;
+    exit 1
+  end;
+  fuzz_stats :=
+    [
+      ("seed", float_of_int cfg.seed);
+      ("programs", float_of_int s.generated);
+      ("audited", float_of_int s.audited);
+      ("skipped", float_of_int s.skipped);
+      ("incidents", float_of_int (List.length s.incidents));
+      ("distilled", float_of_int s.distilled);
+      ("corpus_total", float_of_int s.corpus_total);
+      ("programs_per_s", programs_per_s);
+      ("oracle_audits_per_s", oracle_per_s);
+      ("oracle_s", s.oracle_s);
+      ("elapsed_s", s.elapsed_s);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_usher.json: a hand-rolled emitter — the container has no JSON
-   library and the schema (usher-bench/4, documented in EXPERIMENTS.md) is
+   library and the schema (usher-bench/5, documented in EXPERIMENTS.md) is
    small enough not to need one. *)
 
 type json =
@@ -660,7 +734,7 @@ let write_bench_json ~wall ~cpu () =
   let j =
     Jobj
       [
-        ("schema", Jstr "usher-bench/4");
+        ("schema", Jstr "usher-bench/5");
         ("scale", jint !scale);
         ("jobs", jint !jobs);
         ("traced", J (if !trace_file <> None then "true" else "false"));
@@ -684,6 +758,10 @@ let write_bench_json ~wall ~cpu () =
                          (fun (s, n) -> (s, jint n))
                          !serve_status_counts) );
                 ]) );
+        ( "fuzz",
+          match !fuzz_stats with
+          | [] -> J "null" (* the fuzz artifact did not run this invocation *)
+          | fs -> Jobj (List.map (fun (k, v) -> (k, jfloat v)) fs) );
       ]
   in
   let b = Buffer.create 8192 in
@@ -819,7 +897,7 @@ let () =
       [
         ("table1", table1); ("fig10", fig10); ("fig11", fig11);
         ("sec46", sec46); ("detect", detect); ("ablation", ablation);
-        ("serveload", serveload);
+        ("serveload", serveload); ("fuzz", fuzzload);
       ]
   | names ->
     List.iter
@@ -833,6 +911,7 @@ let () =
         | "ablation" -> artifact n ablation
         | "micro" -> artifact n micro
         | "serveload" -> artifact n serveload
+        | "fuzz" -> artifact n fuzzload
         | other -> Printf.eprintf "unknown artifact %s\n" other)
       names);
   Printf.printf "\n(total bench time: %.1fs wall / %.1fs cpu at scale %d, jobs %d)\n"

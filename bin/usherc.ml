@@ -7,6 +7,7 @@
      usherc gen NAME       print a SPEC2000-analog TinyC source
      usherc bench NAME     one benchmark end to end (all variants)
      usherc audit          differential soundness audit over the corpus
+     usherc fuzz           generative differential fuzzing (or daemon soak)
      usherc serve          analysis-as-a-service daemon (NDJSON protocol)
 
    Programs are TinyC sources (see README).
@@ -458,6 +459,168 @@ let audit_cmd =
           $ budget_ms_arg $ dir_arg $ hole_arg $ no_reduce_arg $ quiet_arg
           $ level_arg $ trace_arg $ metrics_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run count seed size jobs budget_ms dir corpus distill hole no_reduce
+      quiet via_serve window no_faults level trace metrics =
+    observed trace metrics @@ fun () ->
+    let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
+    match via_serve with
+    | Some socket ->
+      (* soak mode: stream the same generated campaign at a running
+         daemon and audit the reply stream instead of running the
+         oracle locally *)
+      let s =
+        Serve.Soak.run
+          {
+            Serve.Soak.socket;
+            count;
+            seed;
+            size;
+            window;
+            budget_ms;
+            faults = not no_faults;
+            log;
+          }
+      in
+      Printf.printf "%s\n" (Serve.Soak.summary_to_string s);
+      List.iter
+        (fun (k, v) -> Printf.printf "  server %s: %d\n" k v)
+        s.server_totals;
+      Serve.Soak.exit_code s
+    | None ->
+      let cfg =
+        {
+          Audit.Fuzz.default_config with
+          count;
+          seed;
+          size;
+          jobs;
+          budget_ms;
+          dir;
+          corpus;
+          distill;
+          hole;
+          minimize = not no_reduce;
+          level;
+          log;
+        }
+      in
+      let s = Audit.Fuzz.run cfg in
+      Printf.printf
+        "fuzz: %d generated, %d audited, %d skipped%s in %.2fs (oracle %.2fs)\n"
+        s.generated s.audited s.skipped
+        (if s.out_of_time then " (budget expired)" else "")
+        s.elapsed_s s.oracle_s;
+      Printf.printf
+        "incidents: %d soundness, %d precision  quarantined: %s  healed: %d\n"
+        s.soundness_incidents s.precision_incidents
+        (match s.quarantined with [] -> "none" | q -> String.concat ", " q)
+        s.healed;
+      if corpus <> None then
+        Printf.printf "corpus: %d distilled this run, %d total\n" s.distilled
+          s.corpus_total;
+      List.iter
+        (fun (i : Audit.Incident.t) ->
+          Printf.printf "  %s %s (%s) hits %d\n"
+            (Audit.Incident.kind_name i.kind) i.id i.variant i.hits)
+        s.incidents;
+      if s.soundness_incidents > 0 then 4 else 0
+  in
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~doc:"Programs to generate and audit.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"Campaign root seed. Per-program seeds are a pure \
+                   function of (seed, index), so a campaign replays \
+                   identically whatever $(b,--jobs) is.")
+  in
+  let size_arg =
+    Arg.(value & opt int 3
+         & info [ "size" ] ~doc:"Generator size (helper functions per program).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~doc:"Parallel oracle runs (domains).")
+  in
+  let dir_arg =
+    Arg.(value & opt string ".usher-audit"
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Incident artifact + quarantine directory.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Persisted corpus directory for distilled programs \
+                   (fuzz-<digest>.c plus corpus.features).")
+  in
+  let distill_arg =
+    Arg.(value & flag
+         & info [ "distill" ]
+             ~doc:"Promote programs whose coverage fingerprint contributes \
+                   a feature no earlier program did into $(b,--corpus).")
+  in
+  let hole_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject-hole" ] ~docv:"PREFIX"
+             ~doc:"Test hook: delete every check guided plans place in \
+                   functions whose name starts with $(docv). Generated \
+                   helpers are prefixed fz, so --inject-hole fz seeds a \
+                   hole the fuzzer must find, reduce and quarantine.")
+  in
+  let no_reduce_arg =
+    Arg.(value & flag
+         & info [ "no-reduce" ]
+             ~doc:"Skip ddmin reduction of soundness incidents.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the final summary.")
+  in
+  let via_serve_arg =
+    Arg.(value & opt (some string) None
+         & info [ "via-serve" ] ~docv:"SOCKET"
+             ~doc:"Soak mode: instead of auditing locally, stream the \
+                   generated campaign as concurrent analyze/run/check \
+                   requests at the usherc serve daemon listening on \
+                   $(docv), with fault injection woven in, and audit the \
+                   reply stream (no lost or duplicated replies; shed \
+                   only by admission control or drain). Exits 0 when the \
+                   contract held and everything was answered, 2 when the \
+                   server drained mid-burst (EOF tolerated), 1 on a \
+                   protocol violation.")
+  in
+  let window_arg =
+    Arg.(value & opt int 32
+         & info [ "window" ]
+             ~doc:"Soak mode: maximum requests in flight at once.")
+  in
+  let no_faults_arg =
+    Arg.(value & flag
+         & info [ "no-faults" ]
+             ~doc:"Soak mode: disable the fault-injected request slice.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Generative differential fuzzing: generate seeded, \
+             deterministic, always-terminating TinyC programs weighted \
+             toward address-taken locals, function pointers, partial \
+             struct initialization, aliasing stores and loop-carried \
+             undef values; run each through the interpreter-vs-variants \
+             differential oracle; ddmin-reduce and checksum-dedup any \
+             divergence into incident artifacts; quarantine implicated \
+             functions; optionally distill novel-coverage programs into a \
+             persisted corpus. Exits 4 if any soundness incident was \
+             captured, 0 otherwise. With --via-serve, soak-test a \
+             running daemon with the same traffic instead.")
+    Term.(const run $ count_arg $ seed_arg $ size_arg $ jobs_arg
+          $ budget_ms_arg $ dir_arg $ corpus_arg $ distill_arg $ hole_arg
+          $ no_reduce_arg $ quiet_arg $ via_serve_arg $ window_arg
+          $ no_faults_arg $ level_arg $ trace_arg $ metrics_arg)
+
 (* ---- serve ---- *)
 
 let serve_cmd =
@@ -577,7 +740,7 @@ let main =
     (Cmd.info "usherc" ~version:"1.0.0"
        ~doc:"Usher: static value-flow analysis accelerating undefined-value detection")
     [ analyze_cmd; run_cmd; check_cmd; gen_cmd; bench_cmd; audit_cmd;
-      serve_cmd ]
+      fuzz_cmd; serve_cmd ]
 
 (* Structured diagnostics (bad source, interpreter traps) exit cleanly
    with the located message instead of a backtrace. *)

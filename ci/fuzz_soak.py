@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI soak for `usherc fuzz --via-serve`: the fuzzer as a load client.
+
+Streams generator-built programs (with the client's deterministic fault
+slice: worker crashes, injected pipeline faults, slow workers) at a
+small `usherc serve` daemon over its Unix socket and asserts the
+delivery contract from the outside:
+
+  * phase 1 — burst against a live 2-worker/8-slot daemon: every request
+    answered exactly once (lost 0, dup 0, unknown 0), the overload is
+    shed gracefully (code-6 replies, not stalls or disconnects), client
+    exit 0, and the daemon still drains to exit 0 afterwards;
+  * phase 2 — SIGTERM mid-burst: the daemon must drain clean (exit 0)
+    and the client must see at worst a truncated tail — unanswered
+    requests bounded by its in-flight window, never a duplicated or
+    half-delivered reply (client exit 0 or 2, never 1).
+
+Usage: python3 ci/fuzz_soak.py path/to/usherc.exe
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+USHERC = sys.argv[1] if len(sys.argv) > 1 else "_build/default/bin/usherc.exe"
+SOCK = "fuzz-soak.sock"
+WINDOW = 64
+
+
+def start_serve():
+    if os.path.exists(SOCK):
+        os.unlink(SOCK)
+    proc = subprocess.Popen(
+        [USHERC, "serve", "--socket", SOCK, "-j", "2", "--max-queue", "8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not os.path.exists(SOCK):
+        assert proc.poll() is None, f"daemon died on startup: {proc.stdout.read()}"
+        assert time.monotonic() < deadline, "daemon never opened its socket"
+        time.sleep(0.05)
+    return proc
+
+
+def stop_serve(proc):
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 0, f"serve drain exit {proc.returncode}\n{out}"
+    return out
+
+
+def parse_soak(out):
+    m = re.search(
+        r"soak: sent (\d+) replied (\d+) lost (\d+) dup (\d+) unknown (\d+) "
+        r"shed (\d+)",
+        out,
+    )
+    assert m, f"no soak summary in client output:\n{out}"
+    keys = ["sent", "replied", "lost", "dup", "unknown", "shed"]
+    return dict(zip(keys, map(int, m.groups())))
+
+
+def main():
+    # -- phase 1: burst against a live daemon ----------------------------
+    serve = start_serve()
+    client = subprocess.run(
+        [USHERC, "fuzz", "--via-serve", SOCK, "--seed", "3",
+         "--count", "400", "--window", str(WINDOW)],
+        capture_output=True, text=True, timeout=300,
+    )
+    sys.stdout.write(client.stdout)
+    assert client.returncode == 0, (
+        f"soak client exit {client.returncode}\n{client.stdout}{client.stderr}"
+    )
+    s = parse_soak(client.stdout)
+    assert s["sent"] == 400 and s["replied"] == 400, s
+    assert s["lost"] == 0 and s["dup"] == 0 and s["unknown"] == 0, s
+    # window 64 against 8 queue slots: the daemon must shed the excess as
+    # structured code-6 replies rather than stall or disconnect
+    assert 1 <= s["shed"] <= s["sent"], s
+    stop_serve(serve)
+    print(f"phase 1 OK: 400/400 answered exactly once, {s['shed']} shed "
+          f"gracefully, daemon drained exit 0")
+
+    # -- phase 2: SIGTERM mid-burst --------------------------------------
+    serve = start_serve()
+    client = subprocess.Popen(
+        [USHERC, "fuzz", "--via-serve", SOCK, "--seed", "4",
+         "--count", "200000", "--window", str(WINDOW)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    time.sleep(1.0)  # let the burst establish
+    stop_serve(serve)
+    out, _ = client.communicate(timeout=300)
+    sys.stdout.write(out)
+    assert client.returncode in (0, 2), (
+        f"soak client exit {client.returncode} after drain (1 = protocol "
+        f"violation)\n{out}"
+    )
+    s = parse_soak(out)
+    assert s["dup"] == 0 and s["unknown"] == 0, s
+    if client.returncode == 2:
+        # contract: only requests still in flight at EOF may go unanswered
+        assert 0 < s["lost"] <= WINDOW, s
+    print(f"phase 2 OK: daemon drained exit 0 under SIGTERM mid-burst, "
+          f"client exit {client.returncode} with {s['lost']} unanswered "
+          f"(<= window {WINDOW}), no duplicates")
+
+
+if __name__ == "__main__":
+    main()

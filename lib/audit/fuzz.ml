@@ -1,0 +1,266 @@
+(* The generative fuzzing campaign driver.
+
+   Generate [count] TinyC programs from per-index seeds (Gen.campaign_seed:
+   a pure function of (root seed, index), so the campaign is identical
+   whatever [--jobs] is), run each through the differential oracle once,
+   and from that single report both
+
+   - audit it (Loop.audit_report: capture + dedup-save incidents, ddmin
+     misses, propose quarantine entries), and
+   - fingerprint it (Fingerprint.of_report) for corpus distillation.
+
+   The oracle runs fan out on domains; everything order-sensitive
+   (quarantine registration, distillation, the summary) happens in a
+   sequential post-pass over the results in index order, so two runs with
+   different [--jobs] settings produce byte-identical incident artifacts,
+   quarantine lists, and corpus directories.
+
+   Unlike the corpus audit loop, fresh quarantine entries do NOT feed
+   back into later subjects mid-run: every program is judged under the
+   same knobs (those in force when the campaign started), which is what
+   keeps the campaign embarrassingly parallel and jobs-deterministic. *)
+
+type config = {
+  count : int;                 (* programs to generate *)
+  seed : int;                  (* campaign root seed *)
+  size : int;                  (* generator size knob (helpers per program) *)
+  jobs : int;                  (* oracle-run fan-out *)
+  budget_ms : int option;      (* wall-clock box for the whole campaign *)
+  dir : string;                (* incident + quarantine directory *)
+  corpus : string option;      (* distilled-corpus directory *)
+  distill : bool;              (* promote novel-coverage programs *)
+  hole : string option;        (* test hook: seeded plan-hole prefix *)
+  minimize : bool;             (* ddmin-reduce soundness misses *)
+  level : Optim.Pipeline.level;
+  limits : Runtime.Interp.limits;
+  knobs : Usher.Config.knobs;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    count = 100;
+    seed = 1;
+    size = 3;
+    jobs = 1;
+    budget_ms = None;
+    dir = ".usher-audit";
+    corpus = None;
+    distill = false;
+    hole = None;
+    minimize = true;
+    level = Optim.Pipeline.O0_IM;
+    limits = Loop.default_config.limits;
+    knobs = Usher.Config.default_knobs;
+    log = ignore;
+  }
+
+type summary = {
+  generated : int;             (* programs generated and checked *)
+  audited : int;               (* programs the oracle accepted *)
+  skipped : int;               (* native-run traps / compile errors *)
+  incidents : Incident.t list; (* newly captured, in index order *)
+  soundness_incidents : int;
+  precision_incidents : int;
+  quarantined : string list;   (* functions newly quarantined *)
+  healed : int;
+  distilled : int;             (* programs promoted into the corpus *)
+  corpus_total : int;          (* corpus size after this run *)
+  out_of_time : bool;
+  oracle_s : float;            (* summed per-program oracle wall time *)
+  elapsed_s : float;
+}
+
+(* ---- corpus persistence ---- *)
+
+let features_file dir = Filename.concat dir "corpus.features"
+
+let load_features (dir : string) : (string, unit) Hashtbl.t =
+  let seen = Hashtbl.create 64 in
+  let path = features_file dir in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let l = String.trim (input_line ic) in
+            if l <> "" then Hashtbl.replace seen l ()
+          done
+        with End_of_file -> ())
+  end;
+  seen
+
+let save_features (dir : string) (seen : (string, unit) Hashtbl.t) : unit =
+  let feats = Hashtbl.fold (fun f () acc -> f :: acc) seen [] in
+  let body = String.concat "\n" (List.sort compare feats) ^ "\n" in
+  Incident.write_atomic ~path:(features_file dir) body
+
+let corpus_members (dir : string) : string list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 5
+           && String.sub f 0 5 = "fuzz-"
+           && Filename.check_suffix f ".c")
+    |> List.sort compare
+
+(* ---- the campaign ---- *)
+
+type outcome =
+  | Skipped of string
+  | Audited of {
+      src : string;
+      fingerprint : string list;
+      incidents : Incident.t list;
+      entries : Quarantine.entry list;
+      healed : int;
+      oracle_s : float;
+    }
+
+let m_generated = Obs.Metrics.counter "fuzz.generated"
+let m_skipped = Obs.Metrics.counter "fuzz.skipped"
+let m_incidents = Obs.Metrics.counter "fuzz.incidents"
+let m_distilled = Obs.Metrics.counter "fuzz.distilled"
+
+let run (cfg : config) : summary =
+  let t0 = Obs.Clock.now_s () in
+  let deadline =
+    Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) cfg.budget_ms
+  in
+  let out_of_time () =
+    match deadline with Some d -> Obs.Clock.now_s () > d | None -> false
+  in
+  (* Existing quarantine applies from the start; entries found mid-run do
+     not (jobs determinism — see the header comment). *)
+  let knobs = Quarantine.apply_dir cfg.dir cfg.knobs in
+  let loop_cfg =
+    {
+      Loop.default_config with
+      seed = cfg.seed;
+      dir = cfg.dir;
+      hole = cfg.hole;
+      minimize = cfg.minimize;
+      level = cfg.level;
+      limits = cfg.limits;
+      knobs;
+      log = cfg.log;
+    }
+  in
+  let one (idx : int) : outcome =
+    Obs.Metrics.incr m_generated;
+    let pseed = Gen.campaign_seed ~seed:cfg.seed idx in
+    let src = Gen.source ~size:cfg.size ~seed:pseed () in
+    let t = Obs.Clock.now_s () in
+    match Loop.oracle_check loop_cfg ~knobs src with
+    | Error e -> Skipped e
+    | Ok report ->
+      let oracle_s = Obs.Clock.now_s () -. t in
+      let fingerprint = Fingerprint.of_report report in
+      let incidents, entries, healed =
+        Loop.audit_report loop_cfg ~knobs ~seed:pseed ~mutation:"" ~src report
+      in
+      Audited { src; fingerprint; incidents; entries; healed; oracle_s }
+  in
+  (* Fan out in chunks so the wall-clock budget is honored between chunks
+     without making the membership of a chunk depend on timing. *)
+  let chunk = max 1 (cfg.jobs * 4) in
+  let results = ref [] (* (idx, outcome) chunks, newest first *) in
+  let next = ref 0 in
+  let stopped = ref false in
+  while !next < cfg.count && not !stopped do
+    if out_of_time () then stopped := true
+    else begin
+      let n = min chunk (cfg.count - !next) in
+      let idxs = List.init n (fun k -> !next + k) in
+      let outs =
+        Obs.Trace.with_span ~cat:"fuzz"
+          (Printf.sprintf "fuzz.chunk.%d" !next)
+          (fun () -> Usher.Experiment.parallel_map ~jobs:cfg.jobs one idxs)
+      in
+      results := List.combine idxs outs :: !results;
+      next := !next + n
+    end
+  done;
+  let results = List.concat (List.rev !results) in
+  (* Sequential, index-ordered post-pass: everything whose outcome could
+     depend on order happens here. *)
+  let audited = ref 0 and skipped = ref 0 and healed = ref 0 in
+  let incidents = ref [] and quarantined = ref [] in
+  let oracle_s = ref 0.0 in
+  let distilled = ref 0 in
+  let seen =
+    match cfg.corpus with
+    | Some cdir when cfg.distill ->
+      Incident.ensure_dir cdir;
+      Some (cdir, load_features cdir)
+    | _ -> None
+  in
+  List.iter
+    (fun (idx, out) ->
+      match out with
+      | Skipped e ->
+        incr skipped;
+        Obs.Metrics.incr m_skipped;
+        cfg.log (Printf.sprintf "program %d skipped (%s)" idx e)
+      | Audited a ->
+        incr audited;
+        oracle_s := !oracle_s +. a.oracle_s;
+        Obs.Metrics.add m_incidents (List.length a.incidents);
+        incidents := !incidents @ a.incidents;
+        healed := !healed + a.healed;
+        let fresh = Quarantine.add cfg.dir a.entries in
+        List.iter
+          (fun (e : Quarantine.entry) ->
+            quarantined := !quarantined @ [ e.qfunc ])
+          fresh;
+        (match seen with
+        | None -> ()
+        | Some (cdir, seen) ->
+          let novel = Fingerprint.novel ~seen a.fingerprint in
+          if novel <> [] then begin
+            Fingerprint.remember ~seen a.fingerprint;
+            let id =
+              String.sub (Digest.to_hex (Digest.string a.src)) 0 12
+            in
+            let path = Filename.concat cdir (Printf.sprintf "fuzz-%s.c" id) in
+            if not (Sys.file_exists path) then begin
+              Incident.write_atomic ~path a.src;
+              incr distilled;
+              Obs.Metrics.incr m_distilled;
+              cfg.log
+                (Printf.sprintf "program %d distilled into %s (novel: %s)" idx
+                   path
+                   (String.concat " " novel))
+            end
+          end))
+    results;
+  (match seen with
+  | Some (cdir, seen) -> save_features cdir seen
+  | None -> ());
+  let n_sound =
+    List.length
+      (List.filter
+         (fun (i : Incident.t) -> i.kind <> Incident.Precision_regression)
+         !incidents)
+  in
+  {
+    generated = List.length results;
+    audited = !audited;
+    skipped = !skipped;
+    incidents = !incidents;
+    soundness_incidents = n_sound;
+    precision_incidents = List.length !incidents - n_sound;
+    quarantined = !quarantined;
+    healed = !healed;
+    distilled = !distilled;
+    corpus_total =
+      (match cfg.corpus with
+      | Some cdir -> List.length (corpus_members cdir)
+      | None -> 0);
+    out_of_time = !stopped;
+    oracle_s = !oracle_s;
+    elapsed_s = Obs.Clock.now_s () -. t0;
+  }

@@ -1,0 +1,50 @@
+(** Generative fuzzing campaigns: [count] programs from {!Gen}, each run
+    once through the differential oracle, audited (incidents, ddmin,
+    quarantine) and fingerprinted for corpus distillation.
+
+    Campaigns are deterministic in [seed]: per-program seeds are a pure
+    function of (seed, index), oracle fan-out order never influences any
+    outcome (order-sensitive steps run in a sequential index-ordered
+    post-pass, incident artifacts merge commutatively), so two runs with
+    different [jobs] settings produce identical incidents, quarantine
+    lists and corpus directories. *)
+
+type config = {
+  count : int;                 (** programs to generate *)
+  seed : int;                  (** campaign root seed *)
+  size : int;                  (** generator size knob *)
+  jobs : int;                  (** oracle-run fan-out *)
+  budget_ms : int option;      (** wall-clock box for the whole campaign *)
+  dir : string;                (** incident + quarantine directory *)
+  corpus : string option;      (** distilled-corpus directory *)
+  distill : bool;              (** promote novel-coverage programs *)
+  hole : string option;        (** test hook: seeded plan-hole prefix *)
+  minimize : bool;             (** ddmin-reduce soundness misses *)
+  level : Optim.Pipeline.level;
+  limits : Runtime.Interp.limits;
+  knobs : Usher.Config.knobs;
+  log : string -> unit;
+}
+
+val default_config : config
+
+type summary = {
+  generated : int;
+  audited : int;
+  skipped : int;               (** native-run traps / compile errors *)
+  incidents : Incident.t list;
+  soundness_incidents : int;
+  precision_incidents : int;
+  quarantined : string list;
+  healed : int;
+  distilled : int;             (** programs promoted into the corpus *)
+  corpus_total : int;          (** corpus size after this run *)
+  out_of_time : bool;
+  oracle_s : float;            (** summed per-program oracle wall time *)
+  elapsed_s : float;
+}
+
+val run : config -> summary
+
+(** Sorted members (file names) of a corpus directory. *)
+val corpus_members : string -> string list

@@ -43,6 +43,7 @@ type t = {
   knobs : string;            (* rendered knob summary *)
   source : string;           (* the full diverging program *)
   reduced : string option;   (* ddmin-minimized repro *)
+  hits : int;                (* times this same hole was hit (dedup counter) *)
 }
 
 let magic = "usher-incident 1"
@@ -53,11 +54,17 @@ let clean_line (s : string) : string =
 
 let make ~kind ~variant ~seed ~mutation ~functions ~labels ~knobs ~source
     ?reduced () : t =
+  (* The id is derived from the *canonical* repro — the ddmin-reduced
+     program when reduction ran, the full source otherwise — never from
+     the seed or mutation that happened to reach it. A fuzz campaign
+     hitting the same hole from 50 different seeds therefore produces 50
+     incidents with one id, which [save] collapses into a single artifact
+     with an accumulated hit counter. *)
+  let canonical = match reduced with Some r -> r | None -> source in
   let digest =
     Digest.to_hex
       (Digest.string
-         (String.concat "\x00"
-            [ kind_name kind; variant; string_of_int seed; mutation; source ]))
+         (String.concat "\x00" [ kind_name kind; variant; canonical ]))
   in
   {
     id = String.sub digest 0 12;
@@ -70,6 +77,7 @@ let make ~kind ~variant ~seed ~mutation ~functions ~labels ~knobs ~source
     knobs = clean_line knobs;
     source;
     reduced;
+    hits = 1;
   }
 
 (* ---- serialization ---- *)
@@ -85,6 +93,7 @@ let payload (t : t) : string =
   pf "functions %s\n" (String.concat " " t.functions);
   pf "labels %s\n" (String.concat " " (List.map string_of_int t.labels));
   pf "knobs %s\n" t.knobs;
+  pf "hits %d\n" t.hits;
   pf "source %d\n" (String.length t.source);
   Buffer.add_string b t.source;
   (match t.reduced with
@@ -213,6 +222,12 @@ let of_string (s : string) : (t, string) result =
                 knobs = get "knobs";
                 source;
                 reduced;
+                (* absent in artifacts written before the dedup counter
+                   existed: they count as one hit *)
+                hits =
+                  (match int_of_string_opt (get "hits") with
+                  | Some n when n >= 1 -> n
+                  | _ -> 1);
               })
       end)
     | _ -> Error "missing checksum line")
@@ -220,8 +235,12 @@ let of_string (s : string) : (t, string) result =
 
 (* ---- filesystem ---- *)
 
-let ensure_dir (dir : string) : unit =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+let rec ensure_dir (dir : string) : unit =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "." then ensure_dir parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
 
 (* Atomic write: the artifact appears fully written or not at all. The
    temp name must be unique per writer — the daemon makes concurrent
@@ -245,14 +264,8 @@ let write_atomic ~(path : string) (contents : string) : unit =
 let filename (t : t) : string =
   Printf.sprintf "incident-%s-%s.txt" (kind_name t.kind) t.id
 
-(** Write the artifact into [dir] (created if missing); returns its path. *)
-let save ~(dir : string) (t : t) : string =
-  ensure_dir dir;
-  let path = Filename.concat dir (filename t) in
-  write_atomic ~path (to_string t);
-  path
-
-let load (path : string) : (t, string) result =
+(* Forward declaration break: [save] needs [load] for the dedup merge. *)
+let load_file (path : string) : (t, string) result =
   match open_in_bin path with
   | exception Sys_error m -> Error m
   | ic ->
@@ -262,6 +275,40 @@ let load (path : string) : (t, string) result =
         match really_input_string ic (in_channel_length ic) with
         | exception Sys_error m -> Error m
         | s -> of_string s)
+
+(* Serializes read-modify-write of the hit counter across domains; the
+   write itself stays atomic (temp + rename), so a concurrent *process*
+   at worst loses a count increment, never corrupts the artifact. *)
+let save_lock = Mutex.create ()
+
+(** Write the artifact into [dir] (created if missing); returns its path.
+    An artifact with the same content id is merged, not duplicated: the
+    first occurrence's evidence is kept and its hit counter absorbs the
+    new one's. *)
+let save ~(dir : string) (t : t) : string =
+  ensure_dir dir;
+  let path = Filename.concat dir (filename t) in
+  Mutex.lock save_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock save_lock)
+    (fun () ->
+      let merged =
+        match load_file path with
+        | Ok prev when prev.id = t.id ->
+          (* Deterministic evidence choice (lowest seed, then source) so
+             the merged artifact is identical whatever order concurrent
+             fuzz workers hit the hole in; the counter is a plain sum, so
+             the end state is order-independent too. *)
+          let keep =
+            if (t.seed, t.source) < (prev.seed, prev.source) then t else prev
+          in
+          { keep with hits = prev.hits + t.hits }
+        | Ok _ | Error _ -> t
+      in
+      write_atomic ~path (to_string merged));
+  path
+
+let load = load_file
 
 (** All well-formed incidents in [dir] (sorted by file name); corrupted
     artifacts are returned separately as (path, error). *)

@@ -28,8 +28,13 @@ type t = {
   knobs : string;            (** rendered knob summary *)
   source : string;           (** the full diverging program *)
   reduced : string option;   (** ddmin-minimized repro *)
+  hits : int;                (** occurrences merged into this artifact *)
 }
 
+(** The [id] is derived from the canonical repro — [reduced] when
+    present, [source] otherwise — plus kind and variant, but {e not} the
+    seed or mutation that reached it, so the same hole found many ways
+    yields one id. [hits] starts at 1. *)
 val make :
   kind:kind ->
   variant:string ->
@@ -59,7 +64,10 @@ val write_atomic : path:string -> string -> unit
 val filename : t -> string
 
 (** Write the artifact into [dir] (created if missing); returns its
-    path. *)
+    path. Saving an incident whose id already exists on disk merges it:
+    the existing evidence is kept and its [hits] counter absorbs the new
+    occurrence, so a fuzz run hitting one hole 50 times leaves one file,
+    not 50. *)
 val save : dir:string -> t -> string
 
 val load : string -> (t, string) result

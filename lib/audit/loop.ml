@@ -105,12 +105,11 @@ let minimize_miss cfg ~knobs ~variant ~func (src : string) : string option =
       Some (Tinyc.Pretty.program_to_string reduced)
     end
 
-(* Audit one subject; returns (incidents, quarantine entries, healed). *)
-let audit_subject cfg ~knobs ~(seed : int) ~(mutation : string) (src : string) :
-    (Incident.t list * Quarantine.entry list * int, string) result =
-  match oracle_check cfg ~knobs src with
-  | Error e -> Error e
-  | Ok report ->
+(* Audit one already-checked subject from its oracle report; returns
+   (incidents, quarantine entries, healed). Split out so the fuzz driver
+   can fingerprint and audit from one oracle run. *)
+let audit_report cfg ~knobs ~(seed : int) ~(mutation : string) ~(src : string)
+    (report : Oracle.report) : Incident.t list * Quarantine.entry list * int =
     let incidents = ref [] and entries = ref [] and healed = ref 0 in
     let knob_str = knobs_summary knobs in
     let capture ~kind ~variant ~functions ~labels ~reduced =
@@ -213,7 +212,14 @@ let audit_subject cfg ~knobs ~(seed : int) ~(mutation : string) (src : string) :
                ~functions:[] ~labels:[] ~reduced:None)
         | Oracle.Miss _ -> ())
       report.divergences;
-    Ok (List.rev !incidents, List.rev !entries, !healed)
+    (List.rev !incidents, List.rev !entries, !healed)
+
+(* Audit one subject; returns (incidents, quarantine entries, healed). *)
+let audit_subject cfg ~knobs ~(seed : int) ~(mutation : string) (src : string) :
+    (Incident.t list * Quarantine.entry list * int, string) result =
+  match oracle_check cfg ~knobs src with
+  | Error e -> Error e
+  | Ok report -> Ok (audit_report cfg ~knobs ~seed ~mutation ~src report)
 
 (* Observability: audited-subject / incident totals, plus instant trace
    events per captured incident (category "audit"). *)

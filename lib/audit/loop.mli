@@ -35,6 +35,29 @@ type summary = {
 
 val knobs_summary : Usher.Config.knobs -> string
 
+(** Run the differential oracle on one source under this config's level,
+    limits and hole. [Error] when the subject is invalid (compile error
+    or native-run trap); anything else propagates. *)
+val oracle_check :
+  config ->
+  knobs:Usher.Config.knobs ->
+  ?variants:Usher.Config.variant list ->
+  string ->
+  (Oracle.report, string) result
+
+(** Audit one already-checked subject from its oracle report: capture and
+    save incidents, ddmin-reduce misses, return quarantine entries and
+    the healed count. The fuzz driver uses this to fingerprint and audit
+    from a single oracle run. *)
+val audit_report :
+  config ->
+  knobs:Usher.Config.knobs ->
+  seed:int ->
+  mutation:string ->
+  src:string ->
+  Oracle.report ->
+  Incident.t list * Quarantine.entry list * int
+
 (** Audit one program source. Returns captured incidents, quarantine
     entries and the healed count, or [Error] when the subject is invalid
     (compile error or native-run trap). *)

@@ -314,19 +314,30 @@ let execute (t : t) ~(sink : sink) (req : Protocol.request)
    lost between the read and the reset. *)
 let stats_fields (t : t) : (string * Json.t) list =
   let num i = Json.Num (float_of_int i) in
+  let tracked =
+    [
+      ("requests", m_requests);
+      ("replies", m_replies);
+      ("shed", Obs.Metrics.counter "serve.shed");
+      ("retries", m_retries);
+      ("quarantined", m_quarantined);
+      ("errors", m_errors);
+      ("cache_hits", Obs.Metrics.counter "serve.cache_hits");
+      ("cache_misses", Obs.Metrics.counter "serve.cache_misses");
+    ]
+  in
   let wins =
     List.map
       (fun (name, c) -> (name, num (Obs.Metrics.counter_take_window c)))
-      [
-        ("requests", m_requests);
-        ("replies", m_replies);
-        ("shed", Obs.Metrics.counter "serve.shed");
-        ("retries", m_retries);
-        ("quarantined", m_quarantined);
-        ("errors", m_errors);
-        ("cache_hits", Obs.Metrics.counter "serve.cache_hits");
-        ("cache_misses", Obs.Metrics.counter "serve.cache_misses");
-      ]
+      tracked
+  in
+  (* Lifetime totals beside the resettable window: a soak client audits
+     its own books (sent/replied/shed) against these at the end of a
+     burst, which a window that every stats probe drains cannot support. *)
+  let totals =
+    List.map
+      (fun (name, c) -> (name, num (Obs.Metrics.counter_value c)))
+      tracked
   in
   [
     ("jobs", num (Usher.Pool.jobs t.pool));
@@ -334,6 +345,7 @@ let stats_fields (t : t) : (string * Json.t) list =
     ("in_flight", num (Usher.Pool.in_flight t.pool));
     ("cache_size", num (Cache.size t.cache));
     ("window", Json.Obj wins);
+    ("totals", Json.Obj totals);
   ]
 
 (* ---- intake ---- *)

@@ -1,0 +1,252 @@
+(* Soak client: stream generated programs at a running `usherc serve`
+   daemon and audit the reply stream against the protocol's delivery
+   contract — exactly one reply per request written, no duplicates, shed
+   replies carry code 6, and a SIGTERM drain may at worst leave requests
+   the server never read unanswered (EOF), never half-answered.
+
+   Programs come from the fuzzing generator (Audit.Gen), so the traffic
+   is the same distribution the differential fuzzer audits offline; a
+   deterministic slice of requests additionally carries fault injection
+   (worker crashes, pipeline faults, worker sleeps) to keep the daemon's
+   crash-isolation and retry machinery hot while under load.
+
+   Single-threaded bounded-window design: keep at most [window] requests
+   in flight, send the next one each time a reply lands. The client
+   never blocks on a full socket buffer with replies unread (the reads
+   between sends drain the server side), and the server's own
+   backpressure (admission shed) is part of what we're here to measure,
+   not something to hide from. *)
+
+type config = {
+  socket : string;           (* Unix socket path of the daemon *)
+  count : int;               (* requests to send *)
+  seed : int;                (* generator campaign seed *)
+  size : int;                (* generator size knob *)
+  window : int;              (* max requests in flight *)
+  budget_ms : int option;    (* per-request budget sent to the server *)
+  faults : bool;             (* weave fault-injected requests into the mix *)
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    socket = "serve.sock";
+    count = 200;
+    seed = 1;
+    size = 2;
+    window = 32;
+    budget_ms = None;
+    faults = true;
+    log = ignore;
+  }
+
+type summary = {
+  sent : int;
+  replied : int;            (* distinct requests that got a reply *)
+  dup : int;                (* duplicate replies (contract violation) *)
+  unknown : int;            (* replies with an id we never sent *)
+  lost : int;               (* sent but unanswered at EOF *)
+  eof_early : bool;         (* server closed before all replies landed *)
+  by_code : (int * int) list;  (* reply code -> count, sorted *)
+  shed : int;               (* code 6 *)
+  quarantined : int;        (* code 7 *)
+  errors : int;             (* code 1 *)
+  server_totals : (string * int) list;  (* daemon lifetime counters, if read *)
+  elapsed_s : float;
+}
+
+(* ---- request construction ---- *)
+
+let request (cfg : config) (idx : int) : string =
+  let src = Audit.Gen.source ~size:cfg.size ~seed:(Audit.Gen.campaign_seed ~seed:cfg.seed idx) () in
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  add "id" (Json.Str (Printf.sprintf "f%d" idx));
+  (* mostly run (the full differential surface), some analyze, some
+     certificate checks — all through the daemon's normal handlers *)
+  let cmd =
+    match idx mod 5 with 0 -> "analyze" | 4 -> "check" | _ -> "run"
+  in
+  add "cmd" (Json.Str cmd);
+  add "source" (Json.Str src);
+  (match cfg.budget_ms with
+  | Some ms -> add "budget_ms" (Json.Num (float_of_int ms))
+  | None -> ());
+  if cfg.faults then begin
+    (* a deterministic slice of the traffic exercises the fault domains:
+       crash-the-worker retries, an injected pipeline fault (degrades,
+       never crashes), and slow workers that keep the queue non-empty *)
+    if idx mod 13 = 5 then add "crash_worker" (Json.Num 1.0);
+    if idx mod 17 = 9 then add "inject" (Json.Arr [ Json.Str "resolve=crash" ]);
+    if idx mod 23 = 11 then add "sleep_ms" (Json.Num 5.0)
+  end;
+  Json.to_line (Json.Obj (List.rev !fields))
+
+(* ---- socket plumbing ---- *)
+
+let send_line fd (line : string) : unit =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd payload !off (len - !off)
+  done
+
+(* Buffered reader: one NDJSON line per call; None at EOF. *)
+type reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+
+let rec read_line (r : reader) : string option =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_string r.buf (String.sub s (i + 1) (String.length s - i - 1));
+    Some (String.sub s 0 i)
+  | None -> (
+    match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+    | 0 -> if s = "" then None else (Buffer.clear r.buf; Some s)
+    | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      read_line r
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      if s = "" then None else (Buffer.clear r.buf; Some s))
+
+(* ---- the soak run ---- *)
+
+let run (cfg : config) : summary =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let r = reader fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX cfg.socket);
+      let t0 = Obs.Clock.now_s () in
+      let pending : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+      let answered : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+      let by_code : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      let sent = ref 0 and replied = ref 0 and dup = ref 0 and unknown = ref 0 in
+      let eof = ref false in
+      let server_totals = ref [] in
+      let send_next () =
+        if !sent < cfg.count then begin
+          let line = request cfg !sent in
+          Hashtbl.replace pending (Printf.sprintf "f%d" !sent) ();
+          incr sent;
+          match send_line fd line with
+          | () -> ()
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            (* server went away mid-burst (drain test); the unread
+               requests surface as lost at EOF *)
+            eof := true
+        end
+      in
+      let absorb (line : string) : unit =
+        match Json.parse line with
+        | Error e -> cfg.log (Printf.sprintf "unparseable reply (%s): %s" e line)
+        | Ok j ->
+          let id =
+            Option.value ~default:""
+              (Option.bind (Json.member "id" j) Json.str)
+          in
+          let code =
+            Option.value ~default:(-1)
+              (Option.bind (Json.member "code" j) Json.int_)
+          in
+          if Hashtbl.mem pending id then begin
+            Hashtbl.remove pending id;
+            Hashtbl.replace answered id ();
+            incr replied;
+            Hashtbl.replace by_code code
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_code code))
+          end
+          else if Hashtbl.mem answered id then begin
+            incr dup;
+            cfg.log (Printf.sprintf "DUPLICATE reply for %s" id)
+          end
+          else if id = "soak-stats" then
+            server_totals :=
+              (match Option.bind (Json.member "totals" j) (fun t ->
+                   match t with
+                   | Json.Obj fields ->
+                     Some
+                       (List.filter_map
+                          (fun (k, v) ->
+                            Option.map (fun n -> (k, n)) (Json.int_ v))
+                          fields)
+                   | _ -> None)
+               with
+              | Some l -> l
+              | None -> [])
+          else begin
+            incr unknown;
+            cfg.log (Printf.sprintf "reply for unknown id %S" id)
+          end
+      in
+      (* prime the window, then lockstep send-on-reply *)
+      let w = max 1 cfg.window in
+      while !sent < min w cfg.count && not !eof do
+        send_next ()
+      done;
+      while (not !eof) && (!sent < cfg.count || Hashtbl.length pending > 0) do
+        match read_line r with
+        | None -> eof := true
+        | Some line ->
+          absorb line;
+          if !sent < cfg.count then send_next ()
+      done;
+      (* final bookkeeping probe: daemon lifetime totals *)
+      if not !eof then begin
+        (match
+           send_line fd
+             (Json.to_line
+                (Json.Obj
+                   [ ("id", Json.Str "soak-stats"); ("cmd", Json.Str "stats") ]))
+         with
+        | () -> (
+          match read_line r with
+          | Some line -> absorb line
+          | None -> ())
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          eof := true)
+      end;
+      let lost = Hashtbl.length pending in
+      let codes =
+        Hashtbl.fold (fun c n acc -> (c, n) :: acc) by_code []
+        |> List.sort compare
+      in
+      let code n = Option.value ~default:0 (Hashtbl.find_opt by_code n) in
+      {
+        sent = !sent;
+        replied = !replied;
+        dup = !dup;
+        unknown = !unknown;
+        lost;
+        eof_early = !eof && lost > 0;
+        by_code = codes;
+        shed = code 6;
+        quarantined = code 7;
+        errors = code 1;
+        server_totals = !server_totals;
+        elapsed_s = Obs.Clock.now_s () -. t0;
+      })
+
+let summary_to_string (s : summary) : string =
+  Printf.sprintf
+    "soak: sent %d replied %d lost %d dup %d unknown %d shed %d quarantined %d \
+     errors %d%s in %.2fs codes [%s]"
+    s.sent s.replied s.lost s.dup s.unknown s.shed s.quarantined s.errors
+    (if s.eof_early then " (EOF before all replies: server drained)" else "")
+    s.elapsed_s
+    (String.concat " "
+       (List.map (fun (c, n) -> Printf.sprintf "%d:%d" c n) s.by_code))
+
+(** CLI verdict: 0 = contract held and every request was answered; 2 =
+    contract held but the server drained mid-burst (unanswered requests
+    at EOF — expected under a SIGTERM test); 1 = a lost or duplicated
+    reply with the connection still up, i.e. a real protocol violation. *)
+let exit_code (s : summary) : int =
+  if s.dup > 0 || s.unknown > 0 then 1
+  else if s.lost > 0 then if s.eof_early then 2 else 1
+  else 0

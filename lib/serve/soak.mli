@@ -1,0 +1,43 @@
+(** Soak client for `usherc serve`: stream fuzz-generated programs as
+    concurrent analyze/run/check requests (optionally fault-injected) at
+    a daemon over its Unix socket, with a bounded in-flight window, and
+    audit the reply stream against the delivery contract — exactly one
+    reply per request, no duplicates, EOF only acceptable as the tail of
+    a server drain. *)
+
+type config = {
+  socket : string;           (** Unix socket path of the daemon *)
+  count : int;               (** requests to send *)
+  seed : int;                (** generator campaign seed *)
+  size : int;                (** generator size knob *)
+  window : int;              (** max requests in flight *)
+  budget_ms : int option;    (** per-request budget sent to the server *)
+  faults : bool;             (** weave fault-injected requests into the mix *)
+  log : string -> unit;
+}
+
+val default_config : config
+
+type summary = {
+  sent : int;
+  replied : int;            (** distinct requests that got a reply *)
+  dup : int;                (** duplicate replies (contract violation) *)
+  unknown : int;            (** replies with an id we never sent *)
+  lost : int;               (** sent but unanswered at EOF *)
+  eof_early : bool;         (** server closed before all replies landed *)
+  by_code : (int * int) list;  (** reply code -> count, sorted *)
+  shed : int;               (** code 6 *)
+  quarantined : int;        (** code 7 *)
+  errors : int;             (** code 1 *)
+  server_totals : (string * int) list;
+      (** daemon lifetime counters from a final stats probe *)
+  elapsed_s : float;
+}
+
+val run : config -> summary
+val summary_to_string : summary -> string
+
+(** 0 = contract held, all answered; 2 = contract held but the server
+    drained mid-burst (EOF with unanswered requests); 1 = lost or
+    duplicated reply on a live connection — a protocol violation. *)
+val exit_code : summary -> int

@@ -36,6 +36,49 @@ let run ?(context_sensitive = true) ?budget (bld : Build.t) : result =
       Hashtbl.replace doms fn d;
       d
   in
+  (* Per-function block reachability (via >= 1 CFG edge), lazily computed
+     per source block. Dominance alone is not enough to rewire: s
+     dominating def(r) only orders the FIRST executions. If def(r) can
+     reach s again through a back edge, r's value arrives at a *later*
+     execution of s — and rewiring r to T would re-resolve x at s to
+     defined, deleting the very check the "already reported at s"
+     argument relies on. (Found by fuzzing: a loop accumulating an
+     uninitialized array cell into its own index variable.) *)
+  let reach_tbls :
+      (fname, (blockid, (blockid, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let block_reaches fn b1 b2 =
+    let tbl =
+      match Hashtbl.find_opt reach_tbls fn with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        Hashtbl.replace reach_tbls fn t;
+        t
+    in
+    let set =
+      match Hashtbl.find_opt tbl b1 with
+      | Some s -> s
+      | None ->
+        let f = Ir.Prog.get_func p fn in
+        let s = Hashtbl.create 16 in
+        let stack = ref (Ir.Func.succs f b1) in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | b :: rest ->
+            stack := rest;
+            if not (Hashtbl.mem s b) then begin
+              Hashtbl.replace s b ();
+              stack := Ir.Func.succs f b @ !stack
+            end
+        done;
+        Hashtbl.replace tbl b1 s;
+        s
+    in
+    Hashtbl.mem set b2
+  in
   (* Per-function def tables for MFC computation. *)
   let def_tbls : (fname, (var, instr_kind) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
   let defs_of fn =
@@ -127,8 +170,24 @@ let run ?(context_sensitive = true) ?budget (bld : Build.t) : result =
                     | Graph.Droot ->
                       None
                   in
+                  (* Rewire only when def(r) cannot re-reach s: with s
+                     dominating def(r) AND no CFG path from def(r)'s
+                     block back to s's block, r's value can never be
+                     consumed at s, and (must-flow) never anywhere else
+                     either — so suppressing its downstream checks loses
+                     nothing. A back path means the value is genuinely
+                     used at s's next execution; keep everything. *)
+                  let cannot_re_reach l =
+                    match (Hashtbl.find_opt pos l, Hashtbl.find_opt pos c.clbl)
+                    with
+                    | Some (bl, _), Some (bs, _) ->
+                      not (block_reaches c.cfunc bl bs)
+                    | _ -> false
+                  in
                   match def_lbl with
-                  | Some l when Analysis.Dominance.label_dominates dom pos c.clbl l ->
+                  | Some l
+                    when Analysis.Dominance.label_dominates dom pos c.clbl l
+                         && cannot_re_reach l ->
                     (* Replace r's edges into the closure by r -> T. *)
                     let old = Graph.succs g r in
                     let into, keep =

@@ -16,4 +16,5 @@ let () =
     @ Test_instr.suites @ Test_interp.suites @ Test_workloads.suites
     @ Test_opts.suites @ Test_misc.suites @ Test_properties.suites
     @ Test_faults.suites @ Test_audit.suites @ Test_equiv.suites
-    @ Test_obs.suites @ Test_verify.suites @ Test_serve.suites)
+    @ Test_obs.suites @ Test_verify.suites @ Test_serve.suites
+    @ Test_fuzz.suites)
