@@ -15,6 +15,11 @@
      dune exec bench/main.exe -- fuzz      -- a short deterministic fuzzing
                                               campaign: generator + oracle
                                               throughput, distillation yield
+     dune exec bench/main.exe -- vm        -- the bytecode VM against the
+                                              reference interpreter: steps/s
+                                              for both engines and the
+                                              per-variant dynamic overhead,
+                                              differentially checked
      dune exec bench/main.exe -- scale=60 fig10   -- override the input scale
    dune exec bench/main.exe -- --jobs 4 table1  -- run experiments on 4 domains
                                                    (also: jobs=4, or BENCH_JOBS)
@@ -26,15 +31,18 @@
                                                    every analysis (also:
                                                    verify=true)
 
-   Every invocation also writes BENCH_usher.json (schema usher-bench/5):
+   Every invocation also writes BENCH_usher.json (schema usher-bench/6):
    per-phase wall times, peak heap, deterministic work counters, the
    process-wide Obs.Metrics snapshot, per-variant instrumentation
    statistics, (under --verify) per-checker certificate times and
    violation counts, (under serveload) server health — per-request
    latency percentiles plus shed/retry/quarantine/cache counts from the
-   load-generator run — and (under fuzz) fuzzing-campaign throughput:
+   load-generator run — (under fuzz) fuzzing-campaign throughput:
    programs/s through the generator, oracle audits/s, and the distilled
-   corpus yield — for whatever artifacts ran; see EXPERIMENTS.md.
+   corpus yield — and (under vm) engine comparison: steps/s for the
+   interpreter and the bytecode VM on the scale-10 gzip micro, the
+   speedup ratio, and the per-variant dynamic overhead at scale 50 —
+   for whatever artifacts ran; see EXPERIMENTS.md.
    [--baseline FILE] fails the run if solve_iterations or
    states_explored regressed >20%% against the checked-in counters;
    [--update-baseline FILE] rewrites them. [--trace FILE] additionally
@@ -651,6 +659,137 @@ let rec emit b ind = function
     Buffer.add_string b (String.make ind ' ');
     Buffer.add_char b ']'
 
+(* ------------------------------------------------------------------ *)
+(* vm: the bytecode VM against the reference interpreter on the 164.gzip
+   analog. Both engines execute the same Interp.compile output, so every
+   comparison below is also a differential test: any outcome field that
+   differs (outputs, exit value, steps, the full counter record, the
+   detection/ground-truth label sets) fails the bench run outright.
+   Steps/s is steady-state — best-of-N over precompiled artifacts, the
+   same fairness rule the fig10 harness uses — at scale 10 (the micro
+   workload); the per-variant dynamic overhead table reruns Figure 10's
+   cost-model metric on VM-produced counters at scale 50. *)
+
+let vm_json : json option ref = ref None
+let vm_counters : (string * string * int * int) list ref = ref []
+
+let labels_of tbl =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let outcome_diff (a : Runtime.Interp.outcome) (b : Runtime.Interp.outcome) :
+    string list =
+  let d = ref [] in
+  let chk name same = if not same then d := name :: !d in
+  chk "outputs" (a.outputs = b.outputs);
+  chk "exit_value" (a.exit_value = b.exit_value);
+  chk "steps" (a.steps = b.steps);
+  chk "counters" (a.counters = b.counters);
+  chk "detections" (labels_of a.detections = labels_of b.detections);
+  chk "gt_uses" (labels_of a.gt_uses = labels_of b.gt_uses);
+  !d
+
+let vmbench () =
+  Printf.printf "\n== vm: bytecode VM vs reference interpreter (164.gzip) ==\n";
+  let module RI = Runtime.Interp in
+  let p = Workloads.Spec2000.find "164.gzip" in
+  let prepare sc =
+    let src = Workloads.Spec2000.source ~scale:sc p in
+    let prog = Usher.Pipeline.front src in
+    (prog, Usher.Pipeline.analyze prog)
+  in
+  let plan_of prog an = function
+    | None -> Instr.Item.empty_plan prog
+    | Some v -> fst (Usher.Pipeline.plan_for an v)
+  in
+  let differential what (oi : RI.outcome) (ov : RI.outcome) =
+    match outcome_diff oi ov with
+    | [] -> ()
+    | ds ->
+      Printf.printf "vm FAILED: %s: engines disagree on %s\n" what
+        (String.concat ", " ds);
+      exit 1
+  in
+  (* steady-state steps/s at scale 10, best-of-N on precompiled artifacts *)
+  let prog10, an10 = prepare 10 in
+  let best_of n f =
+    f ();
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Obs.Clock.now_s () in
+      f ();
+      let dt = Obs.Clock.elapsed_s t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let micro_row name variant =
+    let cp = RI.compile prog10 (plan_of prog10 an10 variant) in
+    let bp = Vm.Engine.lower cp in
+    let oi = RI.run cp and ov = Vm.Engine.exec bp in
+    differential (name ^ "@10") oi ov;
+    let ti = best_of 60 (fun () -> ignore (RI.run cp)) in
+    let tv = best_of 60 (fun () -> ignore (Vm.Engine.exec bp)) in
+    let si = float_of_int oi.steps /. ti and sv = float_of_int ov.steps /. tv in
+    Printf.printf
+      "  %-8s %8d steps   interp %6.1fM steps/s   vm %6.1fM steps/s   %4.2fx\n"
+      name oi.steps (si /. 1e6) (sv /. 1e6) (sv /. si);
+    vm_counters :=
+      !vm_counters
+      @ [ ("vm/164.gzip", name, ov.steps, Vm.Bytecode.code_words bp) ];
+    ( name,
+      Jobj
+        [
+          ("steps", jint oi.steps);
+          ("code_words", jint (Vm.Bytecode.code_words bp));
+          ("interp_steps_per_s", jfloat si);
+          ("vm_steps_per_s", jfloat sv);
+          ("speedup", jfloat (sv /. si));
+        ] )
+  in
+  (* sequenced lets: list literals evaluate right-to-left *)
+  let r_native = micro_row "native" None in
+  let r_msan = micro_row "msan" (Some Cfg.Msan) in
+  let r_usher = micro_row "usher" (Some Cfg.Usher_full) in
+  let micro_rows = [ r_native; r_msan; r_usher ] in
+  (* per-variant dynamic overhead at scale 50, cost model over VM counters *)
+  let prog50, an50 = prepare 50 in
+  let run_both what plan =
+    let cp = RI.compile prog50 plan in
+    let oi = RI.run cp and ov = Vm.Engine.exec (Vm.Engine.lower cp) in
+    differential (what ^ "@50") oi ov;
+    ov
+  in
+  let native50 = run_both "native" (plan_of prog50 an50 None) in
+  Printf.printf "  dynamic overhead at scale 50 (%d native steps):\n"
+    native50.steps;
+  let overhead =
+    List.map
+      (fun v ->
+        let name = Cfg.variant_name v in
+        let o = run_both name (plan_of prog50 an50 (Some v)) in
+        let pct =
+          Runtime.Costmodel.slowdown_pct ~native:native50.counters
+            ~instrumented:o.counters ()
+        in
+        Printf.printf "    %-12s %6.0f%%\n" name pct;
+        (name, pct))
+      Cfg.all_variants
+  in
+  Printf.printf
+    "  (all engine pairs byte-identical: outputs, exit, steps, counters, \
+     detections)\n";
+  vm_json :=
+    Some
+      (Jobj
+         [
+           ("micro_scale", jint 10);
+           ("micro", Jobj micro_rows);
+           ("overhead_scale", jint 50);
+           ("native_steps", jint native50.steps);
+           ( "overhead_pct",
+             Jobj (List.map (fun (n, pct) -> (n, jfloat pct)) overhead) );
+         ])
+
 (* Every experiment actually run this invocation (forced lazies only, in
    deterministic profile order); the ablation's private runs are not
    experiment records and are deliberately excluded. *)
@@ -734,7 +873,7 @@ let write_bench_json ~wall ~cpu () =
   let j =
     Jobj
       [
-        ("schema", Jstr "usher-bench/5");
+        ("schema", Jstr "usher-bench/6");
         ("scale", jint !scale);
         ("jobs", jint !jobs);
         ("traced", J (if !trace_file <> None then "true" else "false"));
@@ -762,6 +901,10 @@ let write_bench_json ~wall ~cpu () =
           match !fuzz_stats with
           | [] -> J "null" (* the fuzz artifact did not run this invocation *)
           | fs -> Jobj (List.map (fun (k, v) -> (k, jfloat v)) fs) );
+        ( "vm",
+          match !vm_json with
+          | None -> J "null" (* the vm artifact did not run this invocation *)
+          | Some j -> j );
       ]
   in
   let b = Buffer.create 8192 in
@@ -778,18 +921,28 @@ let write_bench_json ~wall ~cpu () =
 (* Work-counter baseline: solve_iterations and states_explored are
    deterministic for a given (profile, level, scale), so CI can catch an
    algorithmic regression without trusting wall clocks. One line per
-   experiment: name level solve_iterations states_explored. *)
+   experiment: name level solve_iterations states_explored. The vm
+   artifact contributes rows of the same shape — vm/<analog> <plan>
+   steps code_words, both deterministic at the artifact's fixed scale —
+   so a bytecode-size or step-count blowup is caught the same way. *)
+
+let counter_rows () =
+  List.map
+    (fun (lvl, (p : Workloads.Profile.t), (e : Exp.t)) ->
+      (p.pname, lvl, e.analysis.pa.solve_iterations,
+       e.analysis.gamma.states_explored))
+    (collected_experiments ())
+  @ !vm_counters
 
 let write_baseline file =
   let oc = open_out file in
   output_string oc
-    "# usher bench work counters: name level solve_iterations states_explored\n";
+    "# usher bench work counters: name level solve_iterations states_explored\n\
+     # (vm rows: vm/<analog> <plan> steps code_words)\n";
   Printf.fprintf oc "# generated at scale %d\n" !scale;
   List.iter
-    (fun (lvl, (p : Workloads.Profile.t), (e : Exp.t)) ->
-      Printf.fprintf oc "%s %s %d %d\n" p.pname lvl
-        e.analysis.pa.solve_iterations e.analysis.gamma.states_explored)
-    (collected_experiments ());
+    (fun (name, lvl, a, b) -> Printf.fprintf oc "%s %s %d %d\n" name lvl a b)
+    (counter_rows ());
   close_out oc;
   Printf.printf "(wrote baseline counters to %s)\n" file
 
@@ -813,22 +966,23 @@ let check_baseline file =
   let failures = ref 0 in
   let checked = ref 0 in
   List.iter
-    (fun (lvl, (p : Workloads.Profile.t), (e : Exp.t)) ->
-      match Hashtbl.find_opt base (p.pname, lvl) with
+    (fun (name, lvl, a, b) ->
+      match Hashtbl.find_opt base (name, lvl) with
       | None ->
-        Printf.printf "baseline: no entry for %s %s (skipped)\n" p.pname lvl
+        Printf.printf "baseline: no entry for %s %s (skipped)\n" name lvl
       | Some (si, se) ->
         incr checked;
         let chk what now was =
           if was > 0 && float_of_int now > 1.2 *. float_of_int was then begin
             incr failures;
-            Printf.printf "REGRESSION %s %s: %s %d -> %d (>20%%)\n" p.pname
-              lvl what was now
+            Printf.printf "REGRESSION %s %s: %s %d -> %d (>20%%)\n" name lvl
+              what was now
           end
         in
-        chk "solve_iterations" e.analysis.pa.solve_iterations si;
-        chk "states_explored" e.analysis.gamma.states_explored se)
-    (collected_experiments ());
+        let vm_row = String.length name > 3 && String.sub name 0 3 = "vm/" in
+        chk (if vm_row then "steps" else "solve_iterations") a si;
+        chk (if vm_row then "code_words" else "states_explored") b se)
+    (counter_rows ());
   if !failures > 0 then begin
     Printf.printf "(baseline check FAILED: %d counter regression(s))\n" !failures;
     exit 1
@@ -894,10 +1048,14 @@ let () =
   | [] ->
     List.iter
       (fun (n, f) -> artifact n f)
+      (* vm first: its steps/s timing loops are the only artifact that is
+         sensitive to heap state left behind by the parallel artifacts
+         (table1 under --jobs orphans its worker domains' major-heap
+         pools, and OCaml 5.1 has no compactor to reclaim them). *)
       [
-        ("table1", table1); ("fig10", fig10); ("fig11", fig11);
-        ("sec46", sec46); ("detect", detect); ("ablation", ablation);
-        ("serveload", serveload); ("fuzz", fuzzload);
+        ("vm", vmbench); ("table1", table1); ("fig10", fig10);
+        ("fig11", fig11); ("sec46", sec46); ("detect", detect);
+        ("ablation", ablation); ("serveload", serveload); ("fuzz", fuzzload);
       ]
   | names ->
     List.iter
@@ -912,6 +1070,7 @@ let () =
         | "micro" -> artifact n micro
         | "serveload" -> artifact n serveload
         | "fuzz" -> artifact n fuzzload
+        | "vm" -> artifact n vmbench
         | other -> Printf.eprintf "unknown artifact %s\n" other)
       names);
   Printf.printf "\n(total bench time: %.1fs wall / %.1fs cpu at scale %d, jobs %d)\n"

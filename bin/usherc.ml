@@ -70,6 +70,19 @@ let variant_arg =
   Arg.(value & opt variant_conv Usher.Config.Usher_full
        & info [ "v"; "variant" ] ~doc:"Variant: msan, tl, tl+at, opt1 or usher.")
 
+let engine_conv =
+  let parse s =
+    match Vm.Engine.of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg ("unknown engine " ^ s))
+  in
+  Arg.conv (parse, fun ppf e -> Fmt.string ppf (Vm.Engine.name e))
+
+let engine_arg =
+  Arg.(value & opt engine_conv Vm.Engine.Interp
+       & info [ "engine" ]
+           ~doc:"Execution engine: interp (the reference interpreter) or vm                  (the threaded-dispatch bytecode VM; identical outcomes,                  faster).")
+
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
 (* ---- resource budgets and fault injection ---- *)
@@ -277,10 +290,12 @@ let analyze_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file level variant knobs trace metrics =
+  let run file level variant engine knobs trace metrics =
     observed trace metrics @@ fun () ->
     let b = Buffer.create 1024 in
-    let code = Serve.Handlers.run ~knobs ~level ~variant b (read_file file) in
+    let code =
+      Serve.Handlers.run ~knobs ~level ~variant ~engine b (read_file file)
+    in
     print_string (Buffer.contents b);
     code
   in
@@ -289,8 +304,8 @@ let run_cmd =
        ~doc:"Execute a TinyC program under instrumentation. Exits 0 when \
              clean, 3 when a use of an undefined value is detected, 4 when \
              a ground-truth undefined use escapes the instrumentation.")
-    Term.(const run $ file_arg $ level_arg $ variant_arg $ knobs_term
-          $ trace_arg $ metrics_arg)
+    Term.(const run $ file_arg $ level_arg $ variant_arg $ engine_arg
+          $ knobs_term $ trace_arg $ metrics_arg)
 
 (* ---- check ---- *)
 
@@ -342,10 +357,10 @@ let gen_cmd =
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run name scale level knobs trace metrics =
+  let run name scale level engine knobs trace metrics =
     observed trace metrics @@ fun () ->
     let b = Buffer.create 1024 in
-    let code = Serve.Handlers.bench ~knobs ~level ~scale b name in
+    let code = Serve.Handlers.bench ~knobs ~level ~scale ~engine b name in
     print_string (Buffer.contents b);
     code
   in
@@ -359,14 +374,14 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Run one SPEC2000 analog end to end. Exits 0 when clean, 3 when \
              undefined uses are detected, 4 on a soundness divergence.")
-    Term.(const run $ name_arg $ scale_arg $ level_arg $ knobs_term
-          $ trace_arg $ metrics_arg)
+    Term.(const run $ name_arg $ scale_arg $ level_arg $ engine_arg
+          $ knobs_term $ trace_arg $ metrics_arg)
 
 (* ---- audit ---- *)
 
 let audit_cmd =
   let run corpus scale mutants seed budget_ms dir hole no_reduce quiet level
-      trace metrics =
+      engine trace metrics =
     observed trace metrics @@ fun () ->
     let profiles =
       match corpus with
@@ -391,6 +406,7 @@ let audit_cmd =
         hole;
         minimize = not no_reduce;
         level;
+        engine;
         log = (if quiet then ignore else fun s -> Printf.printf "%s\n%!" s);
       }
     in
@@ -457,13 +473,13 @@ let audit_cmd =
              incident was captured, 0 otherwise.")
     Term.(const run $ corpus_arg $ scale_arg $ mutants_arg $ seed_arg
           $ budget_ms_arg $ dir_arg $ hole_arg $ no_reduce_arg $ quiet_arg
-          $ level_arg $ trace_arg $ metrics_arg)
+          $ level_arg $ engine_arg $ trace_arg $ metrics_arg)
 
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
-  let run count seed size jobs budget_ms dir corpus distill hole no_reduce
-      quiet via_serve window no_faults level trace metrics =
+  let run count seed size jobs budget_ms dir corpus distill promote hole
+      no_reduce quiet via_serve window no_faults level engine trace metrics =
     observed trace metrics @@ fun () ->
     let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
     match via_serve with
@@ -489,7 +505,7 @@ let fuzz_cmd =
         (fun (k, v) -> Printf.printf "  server %s: %d\n" k v)
         s.server_totals;
       Serve.Soak.exit_code s
-    | None ->
+    | None -> (
       let cfg =
         {
           Audit.Fuzz.default_config with
@@ -504,9 +520,21 @@ let fuzz_cmd =
           hole;
           minimize = not no_reduce;
           level;
+          engine;
           log;
         }
       in
+      match promote with
+      | Some src_dir ->
+        let dst_dir = Option.value corpus ~default:"examples/corpus" in
+        let p = Audit.Fuzz.promote cfg ~src_dir ~dst_dir in
+        Printf.printf
+          "promote: %d examined, %d promoted, %d redundant, %d rejected -> \
+           %s (%d member(s))\n"
+          p.p_examined p.p_promoted p.p_redundant p.p_rejected dst_dir
+          p.p_total;
+        0
+      | None ->
       let s = Audit.Fuzz.run cfg in
       Printf.printf
         "fuzz: %d generated, %d audited, %d skipped%s in %.2fs (oracle %.2fs)\n"
@@ -526,7 +554,7 @@ let fuzz_cmd =
           Printf.printf "  %s %s (%s) hits %d\n"
             (Audit.Incident.kind_name i.kind) i.id i.variant i.hits)
         s.incidents;
-      if s.soundness_incidents > 0 then 4 else 0
+      if s.soundness_incidents > 0 then 4 else 0)
   in
   let count_arg =
     Arg.(value & opt int 100
@@ -563,6 +591,18 @@ let fuzz_cmd =
          & info [ "distill" ]
              ~doc:"Promote programs whose coverage fingerprint contributes \
                    a feature no earlier program did into $(b,--corpus).")
+  in
+  let promote_arg =
+    Arg.(value & opt (some string) None
+         & info [ "promote" ] ~docv:"DIR"
+             ~doc:"Instead of running a campaign, promote distilled \
+                   programs from the corpus in $(docv) into a curated \
+                   corpus ($(b,--corpus), default examples/corpus): each \
+                   member is re-run through the differential oracle and \
+                   copied — stable fuzz-<digest>.c name, its features \
+                   merged into the curated corpus.features — exactly \
+                   when its fingerprint contributes a feature the \
+                   curated corpus lacks. Idempotent.")
   in
   let hole_arg =
     Arg.(value & opt (some string) None
@@ -617,9 +657,9 @@ let fuzz_cmd =
              captured, 0 otherwise. With --via-serve, soak-test a \
              running daemon with the same traffic instead.")
     Term.(const run $ count_arg $ seed_arg $ size_arg $ jobs_arg
-          $ budget_ms_arg $ dir_arg $ corpus_arg $ distill_arg $ hole_arg
-          $ no_reduce_arg $ quiet_arg $ via_serve_arg $ window_arg
-          $ no_faults_arg $ level_arg $ trace_arg $ metrics_arg)
+          $ budget_ms_arg $ dir_arg $ corpus_arg $ distill_arg $ promote_arg
+          $ hole_arg $ no_reduce_arg $ quiet_arg $ via_serve_arg $ window_arg
+          $ no_faults_arg $ level_arg $ engine_arg $ trace_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 

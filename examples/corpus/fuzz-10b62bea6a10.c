@@ -1,0 +1,62 @@
+int g1 = -7;
+int g2 = -4;
+int fz3(int n) {
+  int x4;
+  int y5 = 4;
+  int* p6 = &(x4);
+  int* q7 = p6;
+  *(p6) = (56 - 5);
+  if (((n >= (n / 7)) || (n > 50))) {
+    q7 = &(y5);
+  } else {
+    *(q7) = (*(p6) + 1);
+  }
+  *(q7) = (n + 10);
+  return (x4 + (y5 + *(q7)));
+}
+
+int fzap9(int* f, int x) {
+  return f(x);
+}
+
+int fzl10(int x) {
+  return (x * 6);
+}
+
+int fz8(int n) {
+  int s11 = 0;
+  for (int i12 = 0; (i12 < 7); i12 = (i12 + 1)) {
+    if (((i12 % 2) > 0)) {
+      s11 = (s11 + fzap9((int*)(fz3), i12));
+    } else {
+      s11 = (s11 + fzap9((int*)(fzl10), i12));
+    }
+  }
+  return s11;
+}
+
+int fz13(int n) {
+  int x14;
+  int y15 = 3;
+  int* p16 = &(x14);
+  int* q17 = p16;
+  *(p16) = ((n <= 34) ? (g1 / ((n & 15) + 1)) : (n % ((n & 15) + 1)));
+  if (((n > (n / 8)) && (n != 18))) {
+    q17 = &(y15);
+  } else {
+    *(q17) = (*(p16) + 1);
+  }
+  *(q17) = (n + 25);
+  return (x14 + (y15 + *(q17)));
+}
+
+int main() {
+  int acc18 = 0;
+  acc18 = (acc18 + fz3(3));
+  acc18 = (acc18 + fz8(4));
+  acc18 = (acc18 + fz13(4));
+  print(acc18);
+  print(fz3(1));
+  return 0;
+}
+

@@ -1,0 +1,54 @@
+int fz1(int n) {
+  int s2 = 0;
+  int c3;
+  for (int i4 = 0; (i4 < 7); i4 = (i4 + 1)) {
+    s2 = (s2 + c3);
+    c3 = (i4 + (n ^ s2));
+  }
+  return (s2 + ~((n | n)));
+}
+
+int fz5(int n) {
+  int x6;
+  int y7;
+  int* p8 = &(x6);
+  int* q9 = p8;
+  *(p8) = n;
+  if ((n > (n >> 1))) {
+    q9 = &(y7);
+  } else {
+    *(q9) = (*(p8) + 1);
+  }
+  *(q9) = (n + 15);
+  return (x6 + (y7 + *(q9)));
+}
+
+int fzap11(int* f, int x) {
+  return f(x);
+}
+
+int fzl12(int x) {
+  return (x ^ 5);
+}
+
+int fz10(int n) {
+  int s13 = 0;
+  for (int i14 = 0; (i14 < 7); i14 = (i14 + 1)) {
+    if (((i14 % 2) > 0)) {
+      s13 = (s13 + fzap11((int*)(fz5), i14));
+    } else {
+      s13 = (s13 + fzap11((int*)(fzl12), i14));
+    }
+  }
+  return s13;
+}
+
+int main() {
+  int acc15 = 0;
+  acc15 = (acc15 + fz1(5));
+  acc15 = (acc15 + fz5(9));
+  acc15 = (acc15 + fz10(2));
+  print(acc15);
+  return 0;
+}
+

@@ -1,0 +1,45 @@
+int ga1[8];
+int fz2(int n) {
+  int v3 = (n + v3);
+  int v4;
+  int v5;
+  int v6 = 16;
+  int s7 = (n + 54);
+  v5 = ((s7 >= s7) ? 4 : n);
+  for (int i8 = 0; (i8 < 2); i8 = (i8 + 1)) {
+    s7 = (s7 + (i8 * s7));
+  }
+  if ((s7 < v3)) {
+    s7 = (s7 + s7);
+  }
+  s7 = (s7 - (((v6 != (49 / ((v6 & 15) + 1))) && (v3 != 9)) ? 4 : v6));
+  return (s7 + (v4 - 62));
+}
+
+struct S10 { int f0; int f1; int f2; };
+
+int fz9(int n) {
+  struct S10 sv11;
+  (sv11).f0 = 31;
+  return ((sv11).f0 + ((sv11).f1 + n));
+}
+
+int fz12(int n) {
+  int s13 = 0;
+  int c14;
+  for (int i15 = 0; (i15 < 2); i15 = (i15 + 1)) {
+    s13 = (s13 + c14);
+    c14 = (i15 + (44 ^ 4));
+  }
+  return (s13 + !((39 - 52)));
+}
+
+int main() {
+  int acc16 = 0;
+  acc16 = (acc16 + fz2(8));
+  acc16 = (acc16 + fz9(2));
+  acc16 = (acc16 + fz12(6));
+  print(acc16);
+  return 0;
+}
+

@@ -1,0 +1,51 @@
+int ga1[8];
+int fz2(int n) {
+  int a3[4];
+  int s4 = 0;
+  for (int i6 = 0; (i6 < 3); i6 = (i6 + 1)) {
+    (a3)[i6] = ((i6 * 2) + ~(n));
+  }
+  for (int i5 = 0; (i5 < 7); i5 = (i5 + 1)) {
+    s4 = (s4 + (a3)[((i5 + s4) & 3)]);
+    if ((s4 > 1048576)) {
+      s4 = (s4 - 1048576);
+    }
+  }
+  return s4;
+}
+
+int fz7(int n) {
+  int s8 = 0;
+  int c9;
+  for (int i10 = 0; (i10 < 9); i10 = (i10 + 1)) {
+    s8 = (s8 + c9);
+    c9 = (i10 + 44);
+  }
+  return (s8 + ~(17));
+}
+
+int fz11(int n) {
+  int a12[4];
+  int s13 = 0;
+  for (int i15 = 0; (i15 < 3); i15 = (i15 + 1)) {
+    (a12)[i15] = ((i15 * 2) + (i15 ^ s13));
+  }
+  for (int i14 = 0; (i14 < 3); i14 = (i14 + 1)) {
+    s13 = (s13 + (a12)[((i14 + s13) & 3)]);
+    if ((s13 > 1048576)) {
+      s13 = (s13 - 1048576);
+    }
+  }
+  return s13;
+}
+
+int main() {
+  int acc16 = 0;
+  acc16 = (acc16 + fz2(5));
+  acc16 = (acc16 + fz7(3));
+  acc16 = (acc16 + fz11(2));
+  print(acc16);
+  print(fz11(0));
+  return 0;
+}
+

@@ -1,0 +1,62 @@
+int g1 = -23;
+int g2 = 15;
+int ga3[8];
+struct S5 { int f0; int f1; int f2; int f3; };
+
+int fz4(int n) {
+  struct S5 sv6;
+  (sv6).f0 = g1;
+  return ((sv6).f0 + ((sv6).f3 + n));
+}
+
+int fz7(int n) {
+  int a8[8];
+  int s9 = 0;
+  for (int i11 = 0; (i11 < 7); i11 = (i11 + 1)) {
+    (a8)[i11] = ((i11 * 2) + 23);
+  }
+  for (int i10 = 0; (i10 < 9); i10 = (i10 + 1)) {
+    s9 = (s9 + (a8)[((i10 + s9) & 7)]);
+    if ((s9 > 1048576)) {
+      s9 = (s9 - 1048576);
+    }
+  }
+  return s9;
+}
+
+int fz12(int n) {
+  int v13;
+  int v14 = (v14 + v14);
+  int s15 = (n + 14);
+  if ((s15 >= (53 / 13))) {
+    s15 = (s15 + (v13 >> 0));
+  }
+  if (((v14 == g2) || (s15 > 51))) {
+    s15 = (s15 + ~((1 ^ 24)));
+  }
+  s15 = (s15 + fz7((44 ^ 20)));
+  if ((n <= s15)) {
+    s15 = (s15 + 18);
+  }
+  return (s15 + (1 + 4));
+}
+
+struct S17 { int f0; int f1; };
+
+int fz16(int n) {
+  struct S17* sv18 = (struct S17*)(malloc(sizeof(struct S17)));
+  (sv18)->f0 = (8 ^ g1);
+  return ((sv18)->f0 + ((sv18)->f0 + n));
+}
+
+int main() {
+  int acc19 = 0;
+  acc19 = (acc19 + fz4(9));
+  acc19 = (acc19 + fz7(8));
+  acc19 = (acc19 + fz12(5));
+  acc19 = (acc19 + fz16(3));
+  print(acc19);
+  print(fz4(2));
+  return 0;
+}
+

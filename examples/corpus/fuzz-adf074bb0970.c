@@ -1,0 +1,66 @@
+int g1 = 8;
+int ga2[8];
+int fz3(int n) {
+  int x4;
+  int y5 = 3;
+  int* p6 = &(x4);
+  int* q7 = p6;
+  *(p6) = 53;
+  if (((n >= ~(n)) && (n != 55))) {
+    q7 = &(y5);
+  } else {
+    *(q7) = (*(p6) + 1);
+  }
+  *(q7) = (n + 30);
+  return (x4 + (y5 + *(q7)));
+}
+
+int fzap9(int* f, int x) {
+  return f(x);
+}
+
+int fzl10(int x) {
+  return (x ^ 3);
+}
+
+int fz8(int n) {
+  int s11 = 0;
+  for (int i12 = 0; (i12 < 7); i12 = (i12 + 1)) {
+    if (((i12 % 2) > 0)) {
+      s11 = (s11 + fzap9((int*)(fz3), i12));
+    } else {
+      s11 = (s11 + fzap9((int*)(fzl10), i12));
+    }
+  }
+  return s11;
+}
+
+int fzl14(int x) {
+  return (x + 1);
+}
+
+int fzl15(int x) {
+  return (x * 7);
+}
+
+int fz13(int n) {
+  int s16 = 0;
+  for (int i17 = 0; (i17 < 3); i17 = (i17 + 1)) {
+    if (((i17 % 2) > 0)) {
+      s16 = (s16 + fzap9((int*)(fzl14), i17));
+    } else {
+      s16 = (s16 + fzap9((int*)(fzl15), i17));
+    }
+  }
+  return s16;
+}
+
+int main() {
+  int acc18 = 0;
+  acc18 = (acc18 + fz3(6));
+  acc18 = (acc18 + fz8(4));
+  acc18 = (acc18 + fz13(9));
+  print(acc18);
+  return 0;
+}
+

@@ -1,0 +1,56 @@
+int g1 = 17;
+int g2 = 24;
+int ga3[8];
+int fz4(int n) {
+  int x5;
+  int y6;
+  int* p7 = &(x5);
+  int* q8 = p7;
+  *(p7) = ((n << 2) >> 4);
+  if ((n == (n + 39))) {
+    q8 = &(y6);
+  } else {
+    *(q8) = (*(p7) + 1);
+  }
+  *(q8) = (n + 7);
+  return (x5 + (y6 + *(q8)));
+}
+
+int fz9(int n) {
+  int s11 = 0;
+  for (int i13 = 0; (i13 < 7); i13 = (i13 + 1)) {
+    (ga3)[i13] = ((i13 * 2) + n);
+  }
+  for (int i12 = 0; (i12 < 2); i12 = (i12 + 1)) {
+    s11 = (s11 + (ga3)[((i12 + s11) & 7)]);
+    if ((s11 > 1048576)) {
+      s11 = (s11 - 1048576);
+    }
+  }
+  return s11;
+}
+
+int fz14(int n) {
+  int x15;
+  int y16 = 56;
+  int* p17 = &(x15);
+  int* q18 = p17;
+  *(p17) = ~((n ^ 11));
+  if ((n == n)) {
+    q18 = &(y16);
+  } else {
+    *(q18) = (*(p17) + 1);
+  }
+  *(q18) = (n + 36);
+  return (x15 + (y16 + *(q18)));
+}
+
+int main() {
+  int acc19 = 0;
+  acc19 = (acc19 + fz4(6));
+  acc19 = (acc19 + fz9(7));
+  acc19 = (acc19 + fz14(6));
+  print(acc19);
+  return 0;
+}
+

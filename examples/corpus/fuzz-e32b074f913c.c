@@ -1,0 +1,62 @@
+int fz1(int n) {
+  int v2 = (20 / ((n & 15) + 1));
+  int v3 = (59 % 14);
+  int s4 = (n + 14);
+  if (((n <= (51 + n)) && (v3 != 31))) {
+    s4 = (s4 + (n ^ (46 - 24)));
+  }
+  if (((s4 != (12 % 14)) && (s4 != 16))) {
+    s4 = (s4 + ((58 ^ 1) / ((v2 & 15) + 1)));
+  }
+  return (s4 + ((s4 < !(s4)) ? v2 : v2));
+}
+
+int fzap6(int* f, int x) {
+  return f(x);
+}
+
+int fzl7(int x) {
+  return (x ^ 9);
+}
+
+int fz5(int n) {
+  int s8 = 0;
+  for (int i9 = 0; (i9 < 4); i9 = (i9 + 1)) {
+    if (((i9 % 2) > 0)) {
+      s8 = (s8 + fzap6((int*)(fz1), i9));
+    } else {
+      s8 = (s8 + fzap6((int*)(fzl7), i9));
+    }
+  }
+  return s8;
+}
+
+int fz10(int n) {
+  int s11 = 0;
+  int c12;
+  for (int i13 = 0; (i13 < 8); i13 = (i13 + 1)) {
+    s11 = (s11 + c12);
+    c12 = (i13 + (21 % ((i13 & 15) + 1)));
+  }
+  return (s11 + (((n > s11) || (s11 > 40)) ? !(s11) : !(s11)));
+}
+
+struct S15 { int f0; int f1; int f2; };
+
+int fz14(int n) {
+  struct S15* sv16 = (struct S15*)(malloc(sizeof(struct S15)));
+  (sv16)->f0 = n;
+  (sv16)->f1 = (37 * n);
+  return ((sv16)->f0 + ((sv16)->f0 + n));
+}
+
+int main() {
+  int acc17 = 0;
+  acc17 = (acc17 + fz1(3));
+  acc17 = (acc17 + fz5(3));
+  acc17 = (acc17 + fz10(3));
+  acc17 = (acc17 + fz14(7));
+  print(acc17);
+  return 0;
+}
+

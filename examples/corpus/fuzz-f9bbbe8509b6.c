@@ -1,0 +1,75 @@
+int g1 = 11;
+int fz2(int n) {
+  int x3;
+  int y4 = 60;
+  int* p5 = &(x3);
+  int* q6 = p5;
+  *(p5) = !(!(35));
+  if (((n >= 56) && (n != 8))) {
+    q6 = &(y4);
+  } else {
+    *(q6) = (*(p5) + 1);
+  }
+  *(q6) = (n + 24);
+  return (x3 + (y4 + *(q6)));
+}
+
+int fz7(int n) {
+  int a8[8];
+  int s9 = 0;
+  for (int i11 = 0; (i11 < 6); i11 = (i11 + 1)) {
+    (a8)[i11] = ((i11 * 2) + (((i11 > (g1 << 4)) || (n > 31)) ? n : s9));
+  }
+  for (int i10 = 0; (i10 < 2); i10 = (i10 + 1)) {
+    s9 = (s9 + (a8)[((i10 + s9) & 7)]);
+    if ((s9 > 1048576)) {
+      s9 = (s9 - 1048576);
+    }
+  }
+  return s9;
+}
+
+int fz12(int n) {
+  int v13;
+  int v14 = (((n >= ((v14 >= (29 << 4)) ? g1 : v14)) && (v14 != 47)) ? v14 : n);
+  int s15 = (n + 20);
+  for (int i16 = 0; (i16 < 3); i16 = (i16 + 1)) {
+    s15 = (s15 + (i16 * s15));
+  }
+  s15 = s15;
+  s15 = (10 / ((v14 & 15) + 1));
+  for (int i17 = 0; (i17 < 5); i17 = (i17 + 1)) {
+    s15 = (s15 + (i17 * n));
+  }
+  v13 = (s15 ^ v14);
+  return (s15 + -(50));
+}
+
+int fz18(int n) {
+  int a19[16];
+  int s20 = 0;
+  for (int i22 = 0; (i22 < 14); i22 = (i22 + 1)) {
+    (a19)[i22] = ((i22 * 2) + (11 << 0));
+  }
+  for (int i21 = 0; (i21 < 4); i21 = (i21 + 1)) {
+    {
+      s20 = (s20 + (a19)[((i21 + s20) & 15)]);
+      if ((s20 > 1048576)) {
+        s20 = (s20 - 1048576);
+      }
+    }
+  }
+  return s20;
+}
+
+int main() {
+  int acc23 = 0;
+  acc23 = (acc23 + fz2(3));
+  acc23 = (acc23 + fz7(9));
+  acc23 = (acc23 + fz12(7));
+  acc23 = (acc23 + fz18(6));
+  print(acc23);
+  print(fz18(2));
+  return 0;
+}
+

@@ -33,6 +33,7 @@ type config = {
   minimize : bool;             (* ddmin-reduce soundness misses *)
   level : Optim.Pipeline.level;
   limits : Runtime.Interp.limits;
+  engine : Vm.Engine.t;
   knobs : Usher.Config.knobs;
   log : string -> unit;
 }
@@ -51,6 +52,7 @@ let default_config =
     minimize = true;
     level = Optim.Pipeline.O0_IM;
     limits = Loop.default_config.limits;
+    engine = Vm.Engine.Interp;
     knobs = Usher.Config.default_knobs;
     log = ignore;
   }
@@ -107,6 +109,88 @@ let corpus_members (dir : string) : string list =
            && Filename.check_suffix f ".c")
     |> List.sort compare
 
+(* ---- promotion into a curated corpus ---- *)
+
+type promotion = {
+  p_examined : int;
+  p_promoted : int;
+  p_redundant : int;
+  p_rejected : int;
+  p_total : int;
+}
+
+let read_member (path : string) : string option =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try Some (really_input_string ic (in_channel_length ic))
+        with Sys_error _ | End_of_file -> None)
+
+(* Re-judge every member of [src_dir] against the curated corpus in
+   [dst_dir]: the oracle runs once per member (under cfg's
+   level/limits/engine/knobs), and a member is copied — stable
+   content-digest name, its features merged into dst's corpus.features —
+   exactly when its fingerprint contributes a feature the curated corpus
+   lacks. Novelty is judged against the curated features, not the source
+   campaign's, so promoting two campaign directories in sequence keeps
+   only what the second adds. Idempotent: a second run promotes
+   nothing. *)
+let promote (cfg : config) ~(src_dir : string) ~(dst_dir : string) : promotion
+    =
+  let loop_cfg =
+    {
+      Loop.default_config with
+      dir = cfg.dir;
+      level = cfg.level;
+      limits = cfg.limits;
+      engine = cfg.engine;
+      knobs = cfg.knobs;
+      log = cfg.log;
+    }
+  in
+  Incident.ensure_dir dst_dir;
+  let seen = load_features dst_dir in
+  let promoted = ref 0 and redundant = ref 0 and rejected = ref 0 in
+  let members = corpus_members src_dir in
+  List.iter
+    (fun name ->
+      match read_member (Filename.concat src_dir name) with
+      | None ->
+        incr rejected;
+        cfg.log (Printf.sprintf "%s rejected (unreadable)" name)
+      | Some src -> (
+        match Loop.oracle_check loop_cfg ~knobs:cfg.knobs src with
+        | Error e ->
+          incr rejected;
+          cfg.log (Printf.sprintf "%s rejected (%s)" name e)
+        | Ok report ->
+          let fp = Fingerprint.of_report report in
+          let novel = Fingerprint.novel ~seen fp in
+          if novel = [] then incr redundant
+          else begin
+            Fingerprint.remember ~seen fp;
+            let id = String.sub (Digest.to_hex (Digest.string src)) 0 12 in
+            let dst = Filename.concat dst_dir (Printf.sprintf "fuzz-%s.c" id) in
+            if not (Sys.file_exists dst) then Incident.write_atomic ~path:dst src;
+            incr promoted;
+            cfg.log
+              (Printf.sprintf "%s promoted as %s (novel: %s)" name
+                 (Filename.basename dst)
+                 (String.concat " " novel))
+          end))
+    members;
+  save_features dst_dir seen;
+  {
+    p_examined = List.length members;
+    p_promoted = !promoted;
+    p_redundant = !redundant;
+    p_rejected = !rejected;
+    p_total = List.length (corpus_members dst_dir);
+  }
+
 (* ---- the campaign ---- *)
 
 type outcome =
@@ -145,6 +229,7 @@ let run (cfg : config) : summary =
       minimize = cfg.minimize;
       level = cfg.level;
       limits = cfg.limits;
+      engine = cfg.engine;
       knobs;
       log = cfg.log;
     }

@@ -22,6 +22,7 @@ type config = {
   minimize : bool;             (** ddmin-reduce soundness misses *)
   level : Optim.Pipeline.level;
   limits : Runtime.Interp.limits;
+  engine : Vm.Engine.t;        (** engine for the instrumented runs *)
   knobs : Usher.Config.knobs;
   log : string -> unit;
 }
@@ -48,3 +49,20 @@ val run : config -> summary
 
 (** Sorted members (file names) of a corpus directory. *)
 val corpus_members : string -> string list
+
+type promotion = {
+  p_examined : int;   (** members of the source corpus *)
+  p_promoted : int;   (** copied: contributed a novel feature *)
+  p_redundant : int;  (** every feature already curated *)
+  p_rejected : int;   (** unreadable, or the oracle refused the program *)
+  p_total : int;      (** curated corpus size afterwards *)
+}
+
+(** [promote cfg ~src_dir ~dst_dir] re-runs the differential oracle over
+    every member of the distilled corpus in [src_dir] (under [cfg]'s
+    level/limits/engine/knobs) and copies a member into the curated
+    corpus [dst_dir] — stable content-digest [fuzz-<digest>.c] name, its
+    features merged into [dst_dir]'s [corpus.features] — exactly when
+    its fingerprint contributes a feature the curated corpus lacks.
+    Idempotent: a second run promotes nothing. *)
+val promote : config -> src_dir:string -> dst_dir:string -> promotion

@@ -21,6 +21,7 @@ type config = {
   minimize : bool;                      (* ddmin-reduce soundness misses *)
   level : Optim.Pipeline.level;
   limits : Runtime.Interp.limits;
+  engine : Vm.Engine.t;
   knobs : Usher.Config.knobs;
   log : string -> unit;
 }
@@ -39,6 +40,7 @@ let default_config =
     limits =
       { Runtime.Interp.max_steps = 2_000_000; max_objects = 100_000;
         max_depth = 1_000 };
+    engine = Vm.Engine.Interp;
     knobs = Usher.Config.default_knobs;
     log = ignore;
   }
@@ -68,7 +70,7 @@ let oracle_check cfg ~knobs ?variants (src : string) :
     (Oracle.report, string) result =
   match
     Oracle.check ~level:cfg.level ~knobs ~limits:cfg.limits ?variants
-      ?hole:cfg.hole src
+      ?hole:cfg.hole ~engine:cfg.engine src
   with
   | r -> Ok r
   | exception Diag.Error d -> Error (Diag.to_string d)

@@ -128,8 +128,8 @@ let apply_hole (a : Usher.Pipeline.analysis) (owners : string option array)
     both as "not a valid audit subject"). Instrumented-run traps that the
     native run does not exhibit are reported as [Behavior] divergences. *)
 let check ?(level = Optim.Pipeline.O0_IM) ?(knobs = Usher.Config.default_knobs)
-    ?limits ?(variants = Usher.Config.all_variants) ?hole (src : string) :
-    report =
+    ?limits ?(variants = Usher.Config.all_variants) ?hole
+    ?(engine = Vm.Engine.Interp) (src : string) : report =
   let module I = Runtime.Interp in
   let prog, front_events = Usher.Pipeline.front_guarded ~level ~knobs src in
   let analysis = Usher.Pipeline.analyze ~knobs prog in
@@ -148,7 +148,7 @@ let check ?(level = Optim.Pipeline.O0_IM) ?(knobs = Usher.Config.default_knobs)
         | _ -> ());
         let stats = Instr.Item.stats_of plan in
         let outcome =
-          try Ok (Runtime.Interp.run_plan ?limits prog plan)
+          try Ok (Vm.Engine.run_plan ?limits engine prog plan)
           with
           | Runtime.Interp.Runtime_error msg -> Error msg
           | Runtime.Interp.Resource_exhausted { what; limit } ->

@@ -55,6 +55,11 @@ val func_of_label : Ir.Prog.t -> Ir.Types.label -> string option
     before running — except in distrusted (quarantined) functions, whose
     items come from the full overlay, so quarantining heals the hole.
 
+    [engine] selects the execution engine for the instrumented runs
+    (default: interpreter). The native ground-truth run always uses the
+    interpreter, so [~engine:Vm] turns every oracle invocation into a
+    cross-engine differential check on top of the variant comparison.
+
     @raise Diag.Error on uncompilable source.
     @raise Runtime.Interp.Runtime_error
     @raise Runtime.Interp.Resource_exhausted when the native run traps. *)
@@ -64,5 +69,6 @@ val check :
   ?limits:Runtime.Interp.limits ->
   ?variants:Usher.Config.variant list ->
   ?hole:string ->
+  ?engine:Vm.Engine.t ->
   string ->
   report

@@ -14,7 +14,12 @@
    memory cells are created true and shadow registers start true; only
    instrumented statements ever write them. Garbage cell contents are a
    deterministic function of the object id and offset, so runs are
-   reproducible. *)
+   reproducible.
+
+   The compiled form is exposed (see interp.mli) so lib/vm can lower the
+   exact same slot-resolved program to bytecode: both engines share one
+   compilation front, which is what makes outcome-for-outcome equivalence
+   a meaningful differential oracle. *)
 
 open Ir.Types
 module P = Ir.Prog
@@ -131,6 +136,8 @@ type cprog = {
   globals : global list;
   main : cfunc;
   nglobal_slots : int;   (* sigma_g size *)
+  has_shadow : bool;     (* any instrumentation at all in the plan *)
+  max_slots : int;       (* max nslots over all functions, >= 1 *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -315,12 +322,35 @@ let compile (p : P.t) (plan : Item.plan) : cprog =
     | Some m -> m
     | None -> error "program has no main"
   in
+  (* Whether the plan instruments anything at all: an un-instrumented run
+     can share a single dummy shadow register file across all frames. *)
+  let has_shadow = ref false in
+  let max_slots = ref 1 in
+  Hashtbl.iter
+    (fun _ (cf : cfunc) ->
+      if cf.nslots > !max_slots then max_slots := cf.nslots;
+      if Array.length cf.entry_acts > 0 then has_shadow := true;
+      Array.iter
+        (fun (cb : cblock) ->
+          if Array.length cb.term_pre > 0 then has_shadow := true;
+          Array.iter
+            (fun (ci : cinstr) ->
+              if Array.length ci.pre > 0 || Array.length ci.post > 0 then
+                has_shadow := true;
+              match ci.ckind with
+              | CPhi { sh = Some _; _ } -> has_shadow := true
+              | _ -> ())
+            cb.body)
+        cf.cblocks)
+    funcs;
   {
     funcs;
     global_objid;
     globals = p.globals;
     main;
     nglobal_slots = plan.ret_slot + 1;
+    has_shadow = !has_shadow;
+    max_slots = !max_slots;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -340,6 +370,17 @@ type limits = { max_steps : int; max_objects : int; max_depth : int }
 
 let default_limits = { max_steps = 50_000_000; max_objects = 4_000_000; max_depth = 10_000 }
 
+(* A call's activation record. The register files are inherently per-frame;
+   everything that used to be allocated alongside them on every call — the
+   interpreter's closures, the phi scratch buffers, the shadow file when
+   the plan is empty — is hoisted into [state] so calls allocate only what
+   frame semantics demand. *)
+type frame = {
+  regs : value array;
+  sregs : bool array;
+  mutable prev_bid : int;
+}
+
 type state = {
   prog : cprog;
   mutable objs : mobj array;
@@ -352,6 +393,10 @@ type state = {
   mutable steps : int;
   mutable input_state : int;
   limits : limits;
+  dummy_sregs : bool array;       (* shared shadow file: un-instrumented runs *)
+  mutable phi_vals : value array; (* parallel-phi scratch, grown on demand *)
+  mutable phi_shs : bool array;
+  mutable phi_has : bool array;
 }
 
 let new_obj st ~cells ~init ~name : int =
@@ -404,6 +449,290 @@ let m_base_ops = Obs.Metrics.counter "interp.base_ops"
 let m_shadow_ops = Obs.Metrics.counter "interp.shadow_ops"
 let m_detections = Obs.Metrics.counter "interp.detections"
 
+let undef_value = { v = Vint 0xDEAD; def = false }
+let phi_default = { v = Vint 0; def = false }
+
+let rvalue (regs : value array) (o : rop) : value =
+  match o with
+  | Rc n -> vint n
+  | Rs s -> regs.(s)
+  | Ru -> undef_value
+
+let svalue (sregs : bool array) (s : sop) : bool =
+  match s with Sc b -> b | Ss s -> sregs.(s)
+
+let deref st ~what (v : value) : int * int =
+  match v.v with
+  | Vptr (o, off) ->
+    if o < 0 || o >= st.nobjs then error "%s: dangling pointer" what;
+    let cells = st.objs.(o).cells in
+    if off < 0 || off >= Array.length cells then
+      error "%s: out-of-bounds access to %s[%d]" what st.objs.(o).obj_name off;
+    (o, off)
+  | Vint _ | Vfun _ -> error "%s: not a pointer" what
+
+(* First arm whose predecessor block is [pb]; -1 when absent. *)
+let rec arm_index (arms : (int * 'a) array) (pb : int) (i : int) : int =
+  if i >= Array.length arms then -1
+  else if fst (Array.unsafe_get arms i) = pb then i
+  else arm_index arms pb (i + 1)
+
+let rec all_set (sregs : bool array) (ys : int array) (i : int) : bool =
+  i >= Array.length ys || (sregs.(ys.(i)) && all_set sregs ys (i + 1))
+
+let exec_action st (fr : frame) (a : caction) =
+  let cnt = st.cnt in
+  match a with
+  | CSet_var (x, rhs) ->
+    cnt.sh_reg <- cnt.sh_reg + 1;
+    fr.sregs.(x) <-
+      (match rhs with
+      | CRconst b -> b
+      | CRvar y ->
+        cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+        fr.sregs.(y)
+      | CRconj ys ->
+        cnt.sh_reg_reads <- cnt.sh_reg_reads + Array.length ys;
+        all_set fr.sregs ys 0
+      | CRmem y ->
+        cnt.sh_mem <- cnt.sh_mem + 1;
+        let o, off = deref st ~what:"shadow load" fr.regs.(y) in
+        st.objs.(o).shadow.(off)
+      | CRglobal i ->
+        cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+        st.sigma_g.(i)
+      | CRphi arms ->
+        cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+        let i = arm_index arms fr.prev_bid 0 in
+        if i >= 0 then svalue fr.sregs (snd arms.(i)) else true)
+  | CSet_mem (x, s) ->
+    cnt.sh_mem <- cnt.sh_mem + 1;
+    let o, off = deref st ~what:"shadow store" fr.regs.(x) in
+    st.objs.(o).shadow.(off) <- svalue fr.sregs s
+  | CSet_mem_const (x, b) ->
+    cnt.sh_mem <- cnt.sh_mem + 1;
+    let o, off = deref st ~what:"shadow store" fr.regs.(x) in
+    st.objs.(o).shadow.(off) <- b
+  | CSet_mem_object (x, b) ->
+    cnt.sh_obj <- cnt.sh_obj + 1;
+    let o, _ = deref st ~what:"shadow object init" fr.regs.(x) in
+    let sh = st.objs.(o).shadow in
+    cnt.sh_obj_cells <- cnt.sh_obj_cells + Array.length sh;
+    Array.fill sh 0 (Array.length sh) b
+  | CSet_global (i, s) ->
+    cnt.sh_reg <- cnt.sh_reg + 1;
+    cnt.sh_reg_reads <- cnt.sh_reg_reads + (match s with Ss _ -> 1 | Sc _ -> 0);
+    st.sigma_g.(i) <- svalue fr.sregs s
+  | CCheck (slot, lbl) ->
+    cnt.sh_check <- cnt.sh_check + 1;
+    let ok = match slot with Some s -> fr.sregs.(s) | None -> false in
+    if not ok then Hashtbl.replace st.det lbl ()
+
+let exec_actions st fr (acts : caction array) =
+  for i = 0 to Array.length acts - 1 do
+    exec_action st fr acts.(i)
+  done
+
+let ensure_phi_scratch st n =
+  if Array.length st.phi_vals < n then begin
+    st.phi_vals <- Array.make n phi_default;
+    st.phi_shs <- Array.make n true;
+    st.phi_has <- Array.make n false
+  end
+
+let rec exec_call st (f : cfunc) (args : value array) ~depth : value =
+  if depth > st.limits.max_depth then
+    exhausted "call depth" st.limits.max_depth;
+  let regs = Array.make (max 1 f.nslots) (vint 0) in
+  let sregs =
+    if st.prog.has_shadow then Array.make (max 1 f.nslots) true
+    else st.dummy_sregs
+  in
+  let fr = { regs; sregs; prev_bid = 0 } in
+  let np = Array.length f.cparams and na = Array.length args in
+  for i = 0 to np - 1 do
+    if i < na then regs.(f.cparams.(i)) <- args.(i)
+  done;
+  exec_actions st fr f.entry_acts;
+  exec_block st f fr 0 ~depth
+
+and exec_block st (f : cfunc) (fr : frame) (bid : int) ~depth : value =
+  let cnt = st.cnt in
+  let regs = fr.regs in
+  let b = f.cblocks.(bid) in
+  let n = Array.length b.body in
+  (* Leading phis evaluate in parallel. *)
+  let nphis = ref 0 in
+  while
+    !nphis < n
+    && match b.body.(!nphis).ckind with CPhi _ -> true | _ -> false
+  do
+    incr nphis
+  done;
+  if !nphis > 0 then begin
+    ensure_phi_scratch st !nphis;
+    let vals = st.phi_vals and shs = st.phi_shs and has = st.phi_has in
+    for i = 0 to !nphis - 1 do
+      match b.body.(i).ckind with
+      | CPhi { arms; sh; _ } ->
+        cnt.alu <- cnt.alu + 1;
+        (let k = arm_index arms fr.prev_bid 0 in
+         if k >= 0 then vals.(i) <- rvalue regs (snd arms.(k))
+         else vals.(i) <- phi_default);
+        (match sh with
+        | Some sharms ->
+          cnt.sh_reg <- cnt.sh_reg + 1;
+          cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
+          has.(i) <- true;
+          let k = arm_index sharms fr.prev_bid 0 in
+          if k >= 0 then shs.(i) <- svalue fr.sregs (snd sharms.(k))
+          else shs.(i) <- true
+        | None -> has.(i) <- false)
+      | _ -> assert false
+    done;
+    for i = 0 to !nphis - 1 do
+      match b.body.(i).ckind with
+      | CPhi { dst; _ } ->
+        regs.(dst) <- vals.(i);
+        if has.(i) then fr.sregs.(dst) <- shs.(i);
+        (* Non-phi shadow items attached to the phi still run. *)
+        exec_actions st fr b.body.(i).pre;
+        exec_actions st fr b.body.(i).post
+      | _ -> assert false
+    done
+  end;
+  for idx = !nphis to n - 1 do
+    let i = b.body.(idx) in
+    st.steps <- st.steps + 1;
+    if st.steps > st.limits.max_steps then
+      exhausted "steps" st.limits.max_steps;
+    exec_actions st fr i.pre;
+    (match i.ckind with
+    | CConst (x, n) ->
+      cnt.alu <- cnt.alu + 1;
+      regs.(x) <- vint n
+    | CCopy (x, o) ->
+      cnt.alu <- cnt.alu + 1;
+      regs.(x) <- rvalue regs o
+    | CUnop (x, u, o) ->
+      cnt.alu <- cnt.alu + 1;
+      let a = rvalue regs o in
+      let n = as_int a in
+      let r = match u with Neg -> -n | Not -> lnot n | Lnot -> if n = 0 then 1 else 0 in
+      regs.(x) <- { v = Vint r; def = a.def }
+    | CBinop (x, bop, o1, o2) ->
+      cnt.alu <- cnt.alu + 1;
+      let a = rvalue regs o1 and c = rvalue regs o2 in
+      let r =
+        match (bop, a.v, c.v) with
+        | Eq, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 1 else 0
+        | Ne, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 0 else 1
+        | _ -> eval_binop bop (as_int a) (as_int c)
+      in
+      regs.(x) <- { v = Vint r; def = a.def && c.def }
+    | CAlloc { dst; init; size; name } ->
+      cnt.alloc <- cnt.alloc + 1;
+      let cells =
+        match size with
+        | CFields n -> n
+        | CArray o ->
+          let v = rvalue regs o in
+          if not v.def then error "allocation with undefined size";
+          max 0 (min (as_int v) 10_000_000)
+      in
+      cnt.alloc_cells <- cnt.alloc_cells + cells;
+      let id = new_obj st ~cells ~init ~name in
+      regs.(dst) <- { v = Vptr (id, 0); def = true }
+    | CLoad (x, y) ->
+      cnt.mem <- cnt.mem + 1;
+      let pv = regs.(y) in
+      if not pv.def then Hashtbl.replace st.gt i.clbl ();
+      let o, off = deref st ~what:"load" pv in
+      regs.(x) <- st.objs.(o).cells.(off)
+    | CStore (x, o) ->
+      cnt.mem <- cnt.mem + 1;
+      let pv = regs.(x) in
+      if not pv.def then Hashtbl.replace st.gt i.clbl ();
+      let ob, off = deref st ~what:"store" pv in
+      st.objs.(ob).cells.(off) <- rvalue regs o
+    | CField (x, y, k) ->
+      cnt.alu <- cnt.alu + 1;
+      let pv = regs.(y) in
+      (match pv.v with
+      | Vptr (o, off) -> regs.(x) <- { v = Vptr (o, off + k); def = pv.def }
+      | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
+    | CIndex (x, y, o) ->
+      cnt.alu <- cnt.alu + 1;
+      let pv = regs.(y) in
+      let iv = rvalue regs o in
+      (match pv.v with
+      | Vptr (ob, off) ->
+        regs.(x) <- { v = Vptr (ob, off + as_int iv); def = pv.def && iv.def }
+      | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
+    | CGlobaladdr (x, objid) ->
+      cnt.alu <- cnt.alu + 1;
+      regs.(x) <- { v = Vptr (objid, 0); def = true }
+    | CFuncaddr (x, fn) ->
+      cnt.alu <- cnt.alu + 1;
+      regs.(x) <- { v = Vfun fn; def = true }
+    | CCall { dst; callee; args } ->
+      cnt.call <- cnt.call + 1;
+      let fn =
+        match callee with
+        | CDirect fn -> fn
+        | CIndirect s -> (
+          match regs.(s).v with
+          | Vfun fn -> fn
+          | Vint _ | Vptr _ -> error "indirect call through non-function")
+      in
+      let callee_f =
+        match Hashtbl.find_opt st.prog.funcs fn with
+        | Some cf -> cf
+        | None -> error "call to unknown function %s" fn
+      in
+      let nargs = Array.length args in
+      let argv =
+        if nargs = 0 then [||]
+        else begin
+          let a = Array.make nargs phi_default in
+          for i = 0 to nargs - 1 do
+            a.(i) <- rvalue regs args.(i)
+          done;
+          a
+        end
+      in
+      let r = exec_call st callee_f argv ~depth:(depth + 1) in
+      (match dst with Some x -> regs.(x) <- r | None -> ())
+    | CPhi _ -> error "phi in block body (not at head)"
+    | COutput o ->
+      cnt.io <- cnt.io + 1;
+      st.outputs_rev <- as_int (rvalue regs o) :: st.outputs_rev
+    | CInput x ->
+      cnt.io <- cnt.io + 1;
+      st.input_state <- (st.input_state * 1103515245) + 12345;
+      regs.(x) <- vint ((st.input_state lsr 16) land 0x7fff));
+    exec_actions st fr i.post
+  done;
+  exec_actions st fr b.term_pre;
+  (* Terminators count as steps too, or an empty infinite loop would
+     never hit the step limit. *)
+  st.steps <- st.steps + 1;
+  if st.steps > st.limits.max_steps then
+    exhausted "steps" st.limits.max_steps;
+  match b.cterm with
+  | CTBr (o, b1, b2) ->
+    cnt.branch <- cnt.branch + 1;
+    let v = rvalue regs o in
+    if not v.def then Hashtbl.replace st.gt b.term_lbl ();
+    fr.prev_bid <- bid;
+    exec_block st f fr (if as_int v <> 0 then b1 else b2) ~depth
+  | CTJmp b1 ->
+    fr.prev_bid <- bid;
+    exec_block st f fr b1 ~depth
+  | CTRet o -> (
+    cnt.call <- cnt.call + 1;
+    match o with Some o -> rvalue regs o | None -> phi_default)
+
 let run ?(limits = default_limits) (cp : cprog) : outcome =
   let st =
     {
@@ -418,6 +747,10 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
       steps = 0;
       input_state = 0x9e3779b9;
       limits;
+      dummy_sregs = Array.make cp.max_slots true;
+      phi_vals = [||];
+      phi_shs = [||];
+      phi_has = [||];
     }
   in
   (* Allocate and initialize globals (C default-initialization: defined). *)
@@ -435,253 +768,11 @@ let run ?(limits = default_limits) (cp : cprog) : outcome =
         g.ginit;
       assert (id = Hashtbl.find cp.global_objid g.gname))
     cp.globals;
-  let cnt = st.cnt in
-  let rec call (f : cfunc) (args : value array) ~depth : value =
-    if depth > st.limits.max_depth then
-      exhausted "call depth" st.limits.max_depth;
-    let regs = Array.make (max 1 f.nslots) (vint 0) in
-    let sregs = Array.make (max 1 f.nslots) true in
-    Array.iteri
-      (fun i s -> if i < Array.length args then regs.(s) <- args.(i))
-      f.cparams;
-    let rvalue = function
-      | Rc n -> vint n
-      | Rs s -> regs.(s)
-      | Ru -> { v = Vint 0xDEAD; def = false }
-    in
-    let svalue = function Sc b -> b | Ss s -> sregs.(s) in
-    let deref ~what (v : value) : int * int =
-      match v.v with
-      | Vptr (o, off) ->
-        if o < 0 || o >= st.nobjs then error "%s: dangling pointer" what;
-        let cells = st.objs.(o).cells in
-        if off < 0 || off >= Array.length cells then
-          error "%s: out-of-bounds access to %s[%d]" what st.objs.(o).obj_name off;
-        (o, off)
-      | Vint _ | Vfun _ -> error "%s: not a pointer" what
-    in
-    let prev_bid = ref 0 in
-    let exec_action (a : caction) =
-      match a with
-      | CSet_var (x, rhs) ->
-        cnt.sh_reg <- cnt.sh_reg + 1;
-        sregs.(x) <-
-          (match rhs with
-          | CRconst b -> b
-          | CRvar y ->
-            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
-            sregs.(y)
-          | CRconj ys ->
-            cnt.sh_reg_reads <- cnt.sh_reg_reads + Array.length ys;
-            Array.for_all (fun y -> sregs.(y)) ys
-          | CRmem y ->
-            cnt.sh_mem <- cnt.sh_mem + 1;
-            let o, off = deref ~what:"shadow load" regs.(y) in
-            st.objs.(o).shadow.(off)
-          | CRglobal i ->
-            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
-            st.sigma_g.(i)
-          | CRphi arms -> (
-            cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
-            match Array.find_opt (fun (pb, _) -> pb = !prev_bid) arms with
-            | Some (_, s) -> svalue s
-            | None -> true))
-      | CSet_mem (x, s) ->
-        cnt.sh_mem <- cnt.sh_mem + 1;
-        let o, off = deref ~what:"shadow store" regs.(x) in
-        st.objs.(o).shadow.(off) <- svalue s
-      | CSet_mem_const (x, b) ->
-        cnt.sh_mem <- cnt.sh_mem + 1;
-        let o, off = deref ~what:"shadow store" regs.(x) in
-        st.objs.(o).shadow.(off) <- b
-      | CSet_mem_object (x, b) ->
-        cnt.sh_obj <- cnt.sh_obj + 1;
-        let o, _ = deref ~what:"shadow object init" regs.(x) in
-        let sh = st.objs.(o).shadow in
-        cnt.sh_obj_cells <- cnt.sh_obj_cells + Array.length sh;
-        Array.fill sh 0 (Array.length sh) b
-      | CSet_global (i, s) ->
-        cnt.sh_reg <- cnt.sh_reg + 1;
-        cnt.sh_reg_reads <- cnt.sh_reg_reads + (match s with Ss _ -> 1 | Sc _ -> 0);
-        st.sigma_g.(i) <- svalue s
-      | CCheck (slot, lbl) ->
-        cnt.sh_check <- cnt.sh_check + 1;
-        let ok = match slot with Some s -> sregs.(s) | None -> false in
-        if not ok then Hashtbl.replace st.det lbl ()
-    in
-    let exec_actions acts = Array.iter exec_action acts in
-    let rec block (bid : int) : value =
-      let b = f.cblocks.(bid) in
-      let n = Array.length b.body in
-      (* Leading phis evaluate in parallel. *)
-      let nphis = ref 0 in
-      while
-        !nphis < n
-        && match b.body.(!nphis).ckind with CPhi _ -> true | _ -> false
-      do
-        incr nphis
-      done;
-      if !nphis > 0 then begin
-        let vals = Array.make !nphis (vint 0) in
-        let shs = Array.make !nphis None in
-        for i = 0 to !nphis - 1 do
-          match b.body.(i).ckind with
-          | CPhi { arms; sh; _ } ->
-            cnt.alu <- cnt.alu + 1;
-            (match Array.find_opt (fun (pb, _) -> pb = !prev_bid) arms with
-            | Some (_, o) -> vals.(i) <- rvalue o
-            | None -> vals.(i) <- { v = Vint 0; def = false });
-            (match sh with
-            | Some sharms ->
-              cnt.sh_reg <- cnt.sh_reg + 1;
-              cnt.sh_reg_reads <- cnt.sh_reg_reads + 1;
-              (match Array.find_opt (fun (pb, _) -> pb = !prev_bid) sharms with
-              | Some (_, s) -> shs.(i) <- Some (svalue s)
-              | None -> shs.(i) <- Some true)
-            | None -> ())
-          | _ -> assert false
-        done;
-        for i = 0 to !nphis - 1 do
-          match b.body.(i).ckind with
-          | CPhi { dst; _ } ->
-            regs.(dst) <- vals.(i);
-            (match shs.(i) with Some s -> sregs.(dst) <- s | None -> ());
-            (* Non-phi shadow items attached to the phi still run. *)
-            exec_actions b.body.(i).pre;
-            exec_actions b.body.(i).post
-          | _ -> assert false
-        done
-      end;
-      for idx = !nphis to n - 1 do
-        let i = b.body.(idx) in
-        st.steps <- st.steps + 1;
-        if st.steps > st.limits.max_steps then
-          exhausted "steps" st.limits.max_steps;
-        exec_actions i.pre;
-        (match i.ckind with
-        | CConst (x, n) ->
-          cnt.alu <- cnt.alu + 1;
-          regs.(x) <- vint n
-        | CCopy (x, o) ->
-          cnt.alu <- cnt.alu + 1;
-          regs.(x) <- rvalue o
-        | CUnop (x, u, o) ->
-          cnt.alu <- cnt.alu + 1;
-          let a = rvalue o in
-          let n = as_int a in
-          let r = match u with Neg -> -n | Not -> lnot n | Lnot -> if n = 0 then 1 else 0 in
-          regs.(x) <- { v = Vint r; def = a.def }
-        | CBinop (x, bop, o1, o2) ->
-          cnt.alu <- cnt.alu + 1;
-          let a = rvalue o1 and c = rvalue o2 in
-          let r =
-            match (bop, a.v, c.v) with
-            | Eq, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 1 else 0
-            | Ne, Vptr (p, q), Vptr (p', q') -> if p = p' && q = q' then 0 else 1
-            | _ -> eval_binop bop (as_int a) (as_int c)
-          in
-          regs.(x) <- { v = Vint r; def = a.def && c.def }
-        | CAlloc { dst; init; size; name } ->
-          cnt.alloc <- cnt.alloc + 1;
-          let cells =
-            match size with
-            | CFields n -> n
-            | CArray o ->
-              let v = rvalue o in
-              if not v.def then error "allocation with undefined size";
-              max 0 (min (as_int v) 10_000_000)
-          in
-          cnt.alloc_cells <- cnt.alloc_cells + cells;
-          let id = new_obj st ~cells ~init ~name in
-          regs.(dst) <- { v = Vptr (id, 0); def = true }
-        | CLoad (x, y) ->
-          cnt.mem <- cnt.mem + 1;
-          let pv = regs.(y) in
-          if not pv.def then Hashtbl.replace st.gt i.clbl ();
-          let o, off = deref ~what:"load" pv in
-          regs.(x) <- st.objs.(o).cells.(off)
-        | CStore (x, o) ->
-          cnt.mem <- cnt.mem + 1;
-          let pv = regs.(x) in
-          if not pv.def then Hashtbl.replace st.gt i.clbl ();
-          let ob, off = deref ~what:"store" pv in
-          st.objs.(ob).cells.(off) <- rvalue o
-        | CField (x, y, k) ->
-          cnt.alu <- cnt.alu + 1;
-          let pv = regs.(y) in
-          (match pv.v with
-          | Vptr (o, off) -> regs.(x) <- { v = Vptr (o, off + k); def = pv.def }
-          | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
-        | CIndex (x, y, o) ->
-          cnt.alu <- cnt.alu + 1;
-          let pv = regs.(y) in
-          let iv = rvalue o in
-          (match pv.v with
-          | Vptr (ob, off) ->
-            regs.(x) <- { v = Vptr (ob, off + as_int iv); def = pv.def && iv.def }
-          | Vint _ | Vfun _ -> regs.(x) <- { pv with def = false })
-        | CGlobaladdr (x, objid) ->
-          cnt.alu <- cnt.alu + 1;
-          regs.(x) <- { v = Vptr (objid, 0); def = true }
-        | CFuncaddr (x, fn) ->
-          cnt.alu <- cnt.alu + 1;
-          regs.(x) <- { v = Vfun fn; def = true }
-        | CCall { dst; callee; args } ->
-          cnt.call <- cnt.call + 1;
-          let fn =
-            match callee with
-            | CDirect fn -> fn
-            | CIndirect s -> (
-              match regs.(s).v with
-              | Vfun fn -> fn
-              | Vint _ | Vptr _ -> error "indirect call through non-function")
-          in
-          let callee_f =
-            match Hashtbl.find_opt st.prog.funcs fn with
-            | Some cf -> cf
-            | None -> error "call to unknown function %s" fn
-          in
-          let argv = Array.map rvalue args in
-          let r = call callee_f argv ~depth:(depth + 1) in
-          (match dst with Some x -> regs.(x) <- r | None -> ())
-        | CPhi _ -> error "phi in block body (not at head)"
-        | COutput o ->
-          cnt.io <- cnt.io + 1;
-          st.outputs_rev <- as_int (rvalue o) :: st.outputs_rev
-        | CInput x ->
-          cnt.io <- cnt.io + 1;
-          st.input_state <- (st.input_state * 1103515245) + 12345;
-          regs.(x) <- vint ((st.input_state lsr 16) land 0x7fff));
-        exec_actions i.post
-      done;
-      exec_actions b.term_pre;
-      (* Terminators count as steps too, or an empty infinite loop would
-         never hit the step limit. *)
-      st.steps <- st.steps + 1;
-      if st.steps > st.limits.max_steps then
-        exhausted "steps" st.limits.max_steps;
-      match b.cterm with
-      | CTBr (o, b1, b2) ->
-        cnt.branch <- cnt.branch + 1;
-        let v = rvalue o in
-        if not v.def then Hashtbl.replace st.gt b.term_lbl ();
-        prev_bid := bid;
-        block (if as_int v <> 0 then b1 else b2)
-      | CTJmp b1 ->
-        prev_bid := bid;
-        block b1
-      | CTRet o -> (
-        cnt.call <- cnt.call + 1;
-        match o with Some o -> rvalue o | None -> { v = Vint 0; def = false })
-    in
-    exec_actions f.entry_acts;
-    block 0
-  in
   let r =
     if Obs.Trace.enabled () then
       Obs.Trace.with_span ~cat:"interp" "interp.run" (fun () ->
-          call cp.main [||] ~depth:0)
-    else call cp.main [||] ~depth:0
+          exec_call st cp.main [||] ~depth:0)
+    else exec_call st cp.main [||] ~depth:0
   in
   Obs.Metrics.incr m_runs;
   Obs.Metrics.add m_base_ops (Counters.base_ops st.cnt);

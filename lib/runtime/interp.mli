@@ -21,8 +21,95 @@ exception Runtime_error of string
     program itself misbehaved. *)
 exception Resource_exhausted of { what : string; limit : int }
 
-(** A compiled program (slot-resolved IR plus plan). *)
-type cprog
+(** {1 Compiled form}
+
+    The slot-resolved program the interpreter executes: variables become
+    dense integer slots per function, plan items are attached to each
+    instruction as pre/post action arrays, and a phi's own shadow item is
+    folded into the phi for atomic parallel evaluation. The representation
+    is public so [lib/vm] can lower the same compiled program to bytecode
+    — both engines share this single compilation front, which is what
+    makes their outcome-for-outcome equivalence a meaningful differential
+    oracle. *)
+
+type rop = Rc of int | Rs of int | Ru  (** constant / slot / undef operand *)
+
+type sop = Sc of bool | Ss of int      (** shadow of an operand *)
+
+type crhs =
+  | CRconst of bool
+  | CRvar of int
+  | CRconj of int array
+  | CRmem of int                        (** slot holding the pointer *)
+  | CRglobal of int
+  | CRphi of (int * sop) array          (** by predecessor block *)
+
+type caction =
+  | CSet_var of int * crhs
+  | CSet_mem of int * sop               (** pointer slot, shadow rhs *)
+  | CSet_mem_const of int * bool
+  | CSet_mem_object of int * bool
+  | CSet_global of int * sop
+  | CCheck of int option * Ir.Types.label  (** slot (None = undef operand) *)
+
+type csize = CFields of int | CArray of rop
+
+type ckind =
+  | CConst of int * int
+  | CCopy of int * rop
+  | CUnop of int * Ir.Types.unop * rop
+  | CBinop of int * Ir.Types.binop * rop * rop
+  | CAlloc of { dst : int; init : bool; size : csize; name : string }
+  | CLoad of int * int
+  | CStore of int * rop
+  | CField of int * int * int
+  | CIndex of int * int * rop
+  | CGlobaladdr of int * int            (** dst slot, global objid *)
+  | CFuncaddr of int * string
+  | CCall of { dst : int option; callee : ccallee; args : rop array }
+  | CPhi of {
+      dst : int;
+      arms : (int * rop) array;
+      sh : (int * sop) array option;    (** folded shadow phi, if planned *)
+    }
+  | COutput of rop
+  | CInput of int
+
+and ccallee = CDirect of string | CIndirect of int
+
+type cinstr = {
+  clbl : Ir.Types.label;
+  ckind : ckind;
+  pre : caction array;
+  post : caction array;
+}
+
+type cterm = CTBr of rop * int * int | CTJmp of int | CTRet of rop option
+
+type cblock = {
+  body : cinstr array;                  (** leading phis evaluate in parallel *)
+  cterm : cterm;
+  term_lbl : Ir.Types.label;
+  term_pre : caction array;
+}
+
+type cfunc = {
+  cfname : string;
+  nslots : int;
+  cparams : int array;
+  entry_acts : caction array;
+  cblocks : cblock array;
+}
+
+type cprog = {
+  funcs : (string, cfunc) Hashtbl.t;
+  global_objid : (string, int) Hashtbl.t;
+  globals : Ir.Types.global list;
+  main : cfunc;
+  nglobal_slots : int;                  (** sigma_g size *)
+  has_shadow : bool;                    (** plan instruments anything at all *)
+  max_slots : int;                      (** max [nslots] over functions, >= 1 *)
+}
 
 val compile : Ir.Prog.t -> Instr.Item.plan -> cprog
 

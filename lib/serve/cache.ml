@@ -1,9 +1,12 @@
 (* Content-hashed reply cache.
 
    Key = MD5 of everything that determines a request's reply: command,
-   optimization level, variant, the full knob fingerprint (budgets,
-   ablations, injected faults, quarantine list) and the program source
-   itself. Hashing the source *is* the invalidation: an edited program
+   optimization level, variant, execution engine, the full knob
+   fingerprint (budgets, ablations, injected faults, quarantine list)
+   and the program source itself. The engine is in the key even though
+   the two engines are contractually byte-identical — a cross-engine
+   hit would otherwise mask an equivalence bug from the daemon's
+   callers. Hashing the source *is* the invalidation: an edited program
    hashes to a new key, and stale entries for the old hash age out of
    the FIFO ring. What's cached is the finished reply (exit code +
    rendered output), which the byte-identity guarantee makes exactly as
@@ -39,9 +42,10 @@ let create ~(cap : int) : t =
   }
 
 let key ~(cmd : string) ~(level : string) ~(variant : string)
-    ~(knobs_fp : string) ~(src : string) : string =
+    ~(engine : string) ~(knobs_fp : string) ~(src : string) : string =
   Digest.to_hex
-    (Digest.string (String.concat "\x00" [ cmd; level; variant; knobs_fp; src ]))
+    (Digest.string
+       (String.concat "\x00" [ cmd; level; variant; engine; knobs_fp; src ]))
 
 let find (t : t) (k : string) : entry option =
   Mutex.protect t.mu (fun () ->

@@ -12,6 +12,7 @@
        "bench": "164.gzip", "scale": 10,    -- bench
        "level": "O0+IM" | "O1" | "O2",
        "variant": "msan" | "tl" | "tl+at" | "opt1" | "usher",
+       "engine": "interp" | "vm",           -- run/bench execution engine
        "budget_ms": 1000, "solver_fuel": N, "vfg_cap": N,
        "resolve_fuel": N, "verify": true,
        "inject": ["andersen=crash", ...],
@@ -48,6 +49,7 @@ type request = {
   scale : int;
   level : Optim.Pipeline.level;
   variant : Usher.Config.variant;
+  engine : Vm.Engine.t;    (* run / bench *)
   budget_ms : int option;
   solver_fuel : int option;
   vfg_cap : int option;
@@ -170,6 +172,14 @@ let request_of_json (j : Json.t) : (request, string) result =
     | None -> Ok Usher.Config.Usher_full
     | Some s -> parse_variant s
   in
+  let* engine =
+    match str_field "engine" with
+    | None -> Ok Vm.Engine.Interp
+    | Some s -> (
+      match Vm.Engine.of_string s with
+      | Some e -> Ok e
+      | None -> Error ("unknown engine " ^ s))
+  in
   let* inject =
     match Option.bind (Json.member "inject" j) Json.list_ with
     | None -> Ok []
@@ -204,6 +214,7 @@ let request_of_json (j : Json.t) : (request, string) result =
       scale = Option.value ~default:10 (int_field "scale");
       level;
       variant;
+      engine;
       budget_ms = int_field "budget_ms";
       solver_fuel = int_field "solver_fuel";
       vfg_cap = int_field "vfg_cap";

@@ -35,7 +35,9 @@ val covered :
 
 (** Run every variant. With [check_soundness] (default, O0+IM only) raises
     {!Unsound} if an instrumented run diverges from the native outputs or a
-    ground-truth undefined use is not covered. *)
+    ground-truth undefined use is not covered. [engine] selects the
+    execution engine for both the native and the instrumented runs
+    (default: the interpreter). *)
 val run :
   ?name:string ->
   ?level:Optim.Pipeline.level ->
@@ -43,6 +45,7 @@ val run :
   ?variants:Config.variant list ->
   ?check_soundness:bool ->
   ?limits:Runtime.Interp.limits ->
+  ?engine:Vm.Engine.t ->
   string ->
   t
 

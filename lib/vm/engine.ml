@@ -1,0 +1,47 @@
+(* Engine selection: the tree-walking interpreter (the semantic oracle)
+   or the bytecode VM. Both consume the same [Interp.compile] output, so a
+   program-plan pair has exactly one compiled form and two executors —
+   outcome equivalence between them is the differential guarantee
+   [test_vm] and the vm-smoke CI job enforce. *)
+
+module I = Runtime.Interp
+
+type t = Interp | Vm
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "vm" -> Some Vm
+  | _ -> None
+
+let name = function Interp -> "interp" | Vm -> "vm"
+
+let m_compile_us = Obs.Metrics.counter "vm.compile_us"
+let m_dispatch_steps = Obs.Metrics.counter "vm.dispatch_steps"
+
+(* Lower a compiled program, attributing compile time to vm.compile_us. *)
+let lower (cp : I.cprog) : Bytecode.prog =
+  Obs.Trace.with_span ~cat:"vm" "vm.compile" (fun () ->
+      let t0 = Obs.Clock.now_ns () in
+      let bp = Lower.lower cp in
+      Obs.Metrics.add m_compile_us ((Obs.Clock.now_ns () - t0) / 1000);
+      bp)
+
+let exec ?limits (bp : Bytecode.prog) : I.outcome =
+  Obs.Trace.with_span ~cat:"vm" "vm.dispatch" (fun () ->
+      let out = Exec.run ?limits bp in
+      Obs.Metrics.add m_dispatch_steps out.I.steps;
+      out)
+
+let run ?limits engine (cp : I.cprog) : I.outcome =
+  match engine with
+  | Interp -> I.run ?limits cp
+  | Vm -> exec ?limits (lower cp)
+
+let run_plan ?limits engine (prog : Ir.Prog.t) (plan : Instr.Item.plan) :
+    I.outcome =
+  match engine with
+  | Interp -> I.run_plan ?limits prog plan
+  | Vm -> run ?limits Vm (I.compile prog plan)
+
+let run_native ?limits engine (prog : Ir.Prog.t) : I.outcome =
+  run_plan ?limits engine prog (Instr.Item.empty_plan prog)

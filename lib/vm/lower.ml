@@ -1,0 +1,585 @@
+(* Lowering: the interpreter's slot-resolved compiled form
+   ([Runtime.Interp.cprog]) down to the flat bytecode of [Bytecode].
+
+   Reusing [Interp.compile] as the single compilation front means every
+   subtle lowering decision — slot assignment, folding a phi's shadow item
+   into the phi, check-label patching — is shared with the interpreter, so
+   engine equivalence tests compare execution strategies, not two
+   compilers.
+
+   Shapes handled here:
+
+   - Parallel phis become per-edge move sequences: for each CFG edge into
+     a block with leading phis, a trampoline copies each phi's statically
+     selected arm and runs its residual actions, then jumps to the shared
+     block body. When a destination could be read as a later source (the
+     actual parallel-copy hazard), reads go through scratch slots first;
+     the common hazard-free edge is lowered to direct moves. Edges into
+     phi-less blocks branch straight to the body.
+   - Plan actions are fused in place as SH_* / CHECK opcodes; an
+     instruction with pre actions hands its step bit to the first one.
+   - Adjacent hot pairs fuse into two-step superinstructions: a
+     compare/arith feeding the block's conditional branch (CMPBR_SS/SC), and
+     pointer arithmetic feeding the load/store that consumes it
+     (IDXLOAD/IDXSTORE). Fusion applies only when no plan actions sit
+     between the two halves, and the first half can neither fault nor
+     allocate, so the pair is observationally one unit.
+   - Cost-model counters become per-block static deltas plus a per-call
+     entry delta (see bytecode.ml); opcodes carry none of them. *)
+
+module I = Runtime.Interp
+module B = Bytecode
+
+type buf = { mutable a : int array; mutable n : int }
+
+let newbuf () = { a = Array.make 256 0; n = 0 }
+
+let emit b v =
+  if b.n >= Array.length b.a then begin
+    let a = Array.make (2 * Array.length b.a) 0 in
+    Array.blit b.a 0 a 0 b.n;
+    b.a <- a
+  end;
+  b.a.(b.n) <- v;
+  b.n <- b.n + 1
+
+let contents b = Array.sub b.a 0 b.n
+
+(* General value operand encoding. *)
+let rop_enc = function
+  | I.Rc n -> (0, n)
+  | I.Rs s -> (1, s)
+  | I.Ru -> (2, 0)
+
+let sop_enc = function
+  | I.Sc b -> (0, if b then 1 else 0)
+  | I.Ss s -> (1, s)
+
+let unop_enc = function Ir.Types.Neg -> 0 | Ir.Types.Not -> 1 | Ir.Types.Lnot -> 2
+
+let binop_enc : Ir.Types.binop -> int = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Rem -> 4 | And -> 5
+  | Or -> 6 | Xor -> 7 | Shl -> 8 | Shr -> 9 | Lt -> 10 | Le -> 11
+  | Gt -> 12 | Ge -> 13 | Eq -> 14 | Ne -> 15
+
+(* ------------------------------------------------------------------ *)
+(* Static counter deltas                                               *)
+(* ------------------------------------------------------------------ *)
+
+let acc_action (d : int array) (a : I.caction) =
+  let bump f n = d.(f) <- d.(f) + n in
+  match a with
+  | I.CSet_var (_, rhs) ->
+    bump B.d_sh_reg 1;
+    (match rhs with
+    | I.CRconst _ -> ()
+    | I.CRvar _ | I.CRglobal _ | I.CRphi _ -> bump B.d_sh_reg_reads 1
+    | I.CRconj ys -> bump B.d_sh_reg_reads (Array.length ys)
+    | I.CRmem _ -> bump B.d_sh_mem 1)
+  | I.CSet_mem _ | I.CSet_mem_const _ -> bump B.d_sh_mem 1
+  | I.CSet_mem_object _ -> bump B.d_sh_obj 1
+  | I.CSet_global (_, s) ->
+    bump B.d_sh_reg 1;
+    (match s with I.Ss _ -> bump B.d_sh_reg_reads 1 | I.Sc _ -> ())
+  | I.CCheck _ -> bump B.d_sh_check 1
+
+let acc_actions d acts = Array.iter (acc_action d) acts
+
+let acc_kind (d : int array) (k : I.ckind) =
+  let bump f = d.(f) <- d.(f) + 1 in
+  match k with
+  | I.CConst _ | I.CCopy _ | I.CUnop _ | I.CBinop _ | I.CField _ | I.CIndex _
+  | I.CGlobaladdr _ | I.CFuncaddr _ | I.CPhi _ ->
+    bump B.d_alu
+  | I.CLoad _ | I.CStore _ -> bump B.d_mem
+  | I.CAlloc _ -> bump B.d_alloc (* alloc_cells is dynamic *)
+  | I.CCall _ -> bump B.d_call
+  | I.COutput _ | I.CInput _ -> bump B.d_io
+
+(* The whole block's delta: leading phis (value + folded shadow + residual
+   actions), body instructions with their pre/post actions, terminator
+   actions and the terminator itself. *)
+let block_delta (cb : I.cblock) : int array =
+  let d = Array.make B.ndelta 0 in
+  Array.iter
+    (fun (ci : I.cinstr) ->
+      acc_actions d ci.pre;
+      acc_kind d ci.ckind;
+      (match ci.ckind with
+      | I.CPhi { sh = Some _; _ } ->
+        d.(B.d_sh_reg) <- d.(B.d_sh_reg) + 1;
+        d.(B.d_sh_reg_reads) <- d.(B.d_sh_reg_reads) + 1
+      | _ -> ());
+      acc_actions d ci.post)
+    cb.body;
+  acc_actions d cb.term_pre;
+  (match cb.cterm with
+  | I.CTBr _ -> d.(B.d_branch) <- d.(B.d_branch) + 1
+  | I.CTRet _ -> d.(B.d_call) <- d.(B.d_call) + 1
+  | I.CTJmp _ -> ());
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Function lowering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let leading_phis (cb : I.cblock) : int =
+  let n = Array.length cb.body in
+  let i = ref 0 in
+  while !i < n && (match cb.body.(!i).ckind with I.CPhi _ -> true | _ -> false) do
+    incr i
+  done;
+  !i
+
+type ctx = {
+  intern : string -> int;            (* name table *)
+  fidx_of : string -> int option;    (* defined functions only *)
+}
+
+let lower_func (ctx : ctx) ~(block0 : int) (f : I.cfunc) : B.func =
+  let b = newbuf () in
+  let nblocks = Array.length f.cblocks in
+  let nphis = Array.map leading_phis f.cblocks in
+  let scratch = Array.fold_left max 0 nphis in
+  let body_pc = Array.make nblocks (-1) in
+  (* Branch-target pc words to patch once trampoline pcs are known:
+     (word index, src block, dst block). *)
+  let patches = ref [] in
+  let emit_target ~src ~dst =
+    (* The jump counts the target's execution; gidx first, then the pc. *)
+    emit b (block0 + dst);
+    patches := (b.n, src, dst) :: !patches;
+    emit b 0
+  in
+  (* [step] puts the interpreter-step bit on this action's opcode. *)
+  let emit_action ?(step = false) (a : I.caction) =
+    let eop op = emit b (if step then op lor B.step_bit else op) in
+    match a with
+    | I.CSet_var (x, rhs) -> (
+      match rhs with
+      | I.CRconst c -> eop B.o_sh_mov; emit b x; emit b 0; emit b (if c then 1 else 0)
+      | I.CRvar y -> eop B.o_sh_mov; emit b x; emit b 1; emit b y
+      | I.CRconj [| y |] -> eop B.o_sh_mov; emit b x; emit b 1; emit b y
+      | I.CRconj [| y1; y2 |] -> eop B.o_sh_conj2; emit b x; emit b y1; emit b y2
+      | I.CRconj ys ->
+        eop B.o_sh_conj; emit b x; emit b (Array.length ys);
+        Array.iter (emit b) ys
+      | I.CRmem y -> eop B.o_sh_mem_rd; emit b x; emit b y
+      | I.CRglobal i -> eop B.o_sh_global_rd; emit b x; emit b i
+      | I.CRphi arms ->
+        eop B.o_sh_phi; emit b x; emit b (Array.length arms);
+        Array.iter
+          (fun (pb, s) ->
+            let sk, sv = sop_enc s in
+            emit b pb; emit b sk; emit b sv)
+          arms)
+    | I.CSet_mem (x, s) ->
+      let sk, sv = sop_enc s in
+      eop B.o_sh_mem_wr; emit b x; emit b sk; emit b sv
+    | I.CSet_mem_const (x, c) ->
+      eop B.o_sh_mem_wr; emit b x; emit b 0; emit b (if c then 1 else 0)
+    | I.CSet_mem_object (x, c) ->
+      eop B.o_sh_obj; emit b x; emit b (if c then 1 else 0)
+    | I.CSet_global (i, s) ->
+      let sk, sv = sop_enc s in
+      eop B.o_sh_global_wr; emit b i; emit b sk; emit b sv
+    | I.CCheck (slot, lbl) ->
+      eop B.o_check;
+      emit b (match slot with Some s -> s | None -> -1);
+      emit b lbl
+  in
+  let emit_actions acts = Array.iter (fun a -> emit_action a) acts in
+  (* Actions where the first one carries the instruction's step bit. *)
+  let emit_actions_stepped acts =
+    Array.iteri (fun i a -> emit_action ~step:(i = 0) a) acts
+  in
+  let stepped op ~step = if step then op lor B.step_bit else op in
+  let emit_kind ~step (ci : I.cinstr) =
+    let eop op = emit b (stepped op ~step) in
+    match ci.ckind with
+    | I.CConst (x, n) -> eop B.o_const; emit b x; emit b n
+    | I.CCopy (x, o) -> (
+      match o with
+      | I.Rs s -> eop B.o_copy_s; emit b x; emit b s
+      | _ ->
+        let ok, ov = rop_enc o in
+        eop B.o_copy; emit b x; emit b ok; emit b ov)
+    | I.CUnop (x, u, o) ->
+      let ok, ov = rop_enc o in
+      eop B.o_unop; emit b x; emit b (unop_enc u); emit b ok; emit b ov
+    | I.CBinop (x, bop, o1, o2) -> (
+      match (o1, o2) with
+      | I.Rs s1, I.Rs s2 when bop = Ir.Types.Add ->
+        eop B.o_add_ss; emit b x; emit b s1; emit b s2
+      | I.Rs s1, I.Rc c2 when bop = Ir.Types.Add ->
+        eop B.o_add_sc; emit b x; emit b s1; emit b c2
+      | I.Rs s1, I.Rs s2 ->
+        eop B.o_binop_ss; emit b x; emit b (binop_enc bop); emit b s1; emit b s2
+      | I.Rs s1, I.Rc c2 ->
+        eop B.o_binop_sc; emit b x; emit b (binop_enc bop); emit b s1; emit b c2
+      | _ ->
+        let ok1, ov1 = rop_enc o1 and ok2, ov2 = rop_enc o2 in
+        eop B.o_binop; emit b x; emit b (binop_enc bop);
+        emit b ok1; emit b ov1; emit b ok2; emit b ov2)
+    | I.CAlloc { dst; init; size; name } -> (
+      match size with
+      | I.CFields n ->
+        eop B.o_allocf; emit b dst; emit b n;
+        emit b (if init then 1 else 0); emit b (ctx.intern name)
+      | I.CArray o ->
+        let ok, ov = rop_enc o in
+        eop B.o_alloca; emit b dst; emit b ok; emit b ov;
+        emit b (if init then 1 else 0); emit b (ctx.intern name))
+    | I.CLoad (x, y) -> eop B.o_load; emit b x; emit b y; emit b ci.clbl
+    | I.CStore (x, o) ->
+      let ok, ov = rop_enc o in
+      eop B.o_store; emit b x; emit b ok; emit b ov; emit b ci.clbl
+    | I.CField (x, y, k) -> eop B.o_field; emit b x; emit b y; emit b k
+    | I.CIndex (x, y, o) ->
+      let ok, ov = rop_enc o in
+      eop B.o_index; emit b x; emit b y; emit b ok; emit b ov
+    | I.CGlobaladdr (x, objid) -> eop B.o_globaladdr; emit b x; emit b objid
+    | I.CFuncaddr (x, fn) -> eop B.o_funcaddr; emit b x; emit b (ctx.intern fn)
+    | I.CCall { dst; callee; args } ->
+      let opc, target =
+        match callee with
+        | I.CDirect fn -> (
+          match ctx.fidx_of fn with
+          | Some fi -> (B.o_call, fi)
+          | None -> (B.o_call, -1 - ctx.intern fn))
+        | I.CIndirect s -> (B.o_callind, s)
+      in
+      eop opc;
+      emit b (match dst with Some x -> x | None -> -1);
+      emit b target;
+      emit b (Array.length args);
+      Array.iter
+        (fun o ->
+          let ok, ov = rop_enc o in
+          emit b ok; emit b ov)
+        args
+    | I.CPhi _ -> eop B.o_bad_phi
+    | I.COutput o ->
+      let ok, ov = rop_enc o in
+      eop B.o_output; emit b ok; emit b ov
+    | I.CInput x -> eop B.o_input; emit b x
+  in
+  let emit_instr (ci : I.cinstr) =
+    if Array.length ci.pre > 0 then begin
+      emit_actions_stepped ci.pre;
+      emit_kind ~step:false ci
+    end
+    else emit_kind ~step:true ci;
+    emit_actions ci.post
+  in
+  let no_acts (ci : I.cinstr) =
+    Array.length ci.pre = 0 && Array.length ci.post = 0
+  in
+  (* Phi resolution for edge src -> dst. The selected arm of each phi is
+     known statically, so the edge lowers to a move list. Reads must
+     logically all precede writes and residual actions (the interpreter's
+     two loops); direct per-phi moves reorder a later phi's read after an
+     earlier phi's write/actions, which is only observable when that read
+     touches a slot one of those writes — value-phi destinations for the
+     value plane; shadow destinations or action-written shadow slots for
+     the shadow plane. Hazard-free edges (the overwhelmingly common case,
+     and every single-phi edge) get direct moves; the rest keep the
+     scratch-slot protocol. *)
+  let emit_phi_edge ~src ~(dst : int) =
+    let cb = f.cblocks.(dst) in
+    let np = nphis.(dst) in
+    let arm_of arms =
+      let k = ref (-1) in
+      Array.iteri (fun j (pb, _) -> if !k < 0 && pb = src then k := j) arms;
+      !k
+    in
+    let vdst = Hashtbl.create 8 and shwr = Hashtbl.create 8 in
+    for i = 0 to np - 1 do
+      match cb.body.(i).ckind with
+      | I.CPhi { dst = d; sh; _ } ->
+        Hashtbl.replace vdst d ();
+        if sh <> None then Hashtbl.replace shwr d ();
+        let acts a =
+          Array.iter
+            (function I.CSet_var (x, _) -> Hashtbl.replace shwr x () | _ -> ())
+            a
+        in
+        acts cb.body.(i).pre;
+        acts cb.body.(i).post
+      | _ -> assert false
+    done;
+    let hazard = ref false in
+    if np > 1 then
+      for i = 0 to np - 1 do
+        match cb.body.(i).ckind with
+        | I.CPhi { arms; sh; _ } ->
+          let k = arm_of arms in
+          (if k >= 0 then
+             match snd arms.(k) with
+             | I.Rs s -> if Hashtbl.mem vdst s then hazard := true
+             | _ -> ());
+          (match sh with
+          | Some sharms ->
+            let k = arm_of sharms in
+            if k >= 0 then (
+              match snd sharms.(k) with
+              | I.Ss s -> if Hashtbl.mem shwr s then hazard := true
+              | I.Sc _ -> ())
+          | None -> ())
+        | _ -> assert false
+      done;
+    let emit_move ~vslot ~shslot (ci : I.cinstr) =
+      match ci.ckind with
+      | I.CPhi { arms; sh; _ } ->
+        let k = arm_of arms in
+        let ok, ov = if k >= 0 then rop_enc (snd arms.(k)) else (3, 0) in
+        emit b B.o_copy; emit b vslot; emit b ok; emit b ov;
+        (match sh with
+        | Some sharms ->
+          let k = arm_of sharms in
+          let sk, sv = if k >= 0 then sop_enc (snd sharms.(k)) else (0, 1) in
+          emit b B.o_sh_mov; emit b shslot; emit b sk; emit b sv
+        | None -> ())
+      | _ -> assert false
+    in
+    if not !hazard then
+      for i = 0 to np - 1 do
+        let ci = cb.body.(i) in
+        (match ci.ckind with
+        | I.CPhi { dst = d; _ } -> emit_move ~vslot:d ~shslot:d ci
+        | _ -> assert false);
+        emit_actions ci.pre;
+        emit_actions ci.post
+      done
+    else begin
+      for i = 0 to np - 1 do
+        emit_move ~vslot:(f.nslots + i) ~shslot:(f.nslots + i) cb.body.(i)
+      done;
+      for i = 0 to np - 1 do
+        let ci = cb.body.(i) in
+        (match ci.ckind with
+        | I.CPhi { dst = d; sh; _ } ->
+          let scr = f.nslots + i in
+          emit b B.o_copy_s; emit b d; emit b scr;
+          (match sh with
+          | Some _ -> emit b B.o_sh_mov; emit b d; emit b 1; emit b scr
+          | None -> ())
+        | _ -> assert false);
+        emit_actions ci.pre;
+        emit_actions ci.post
+      done
+    end
+  in
+  let emit_term (cb : I.cblock) bid ~fused =
+    if not fused then begin
+      if Array.length cb.term_pre > 0 then emit_actions_stepped cb.term_pre;
+      let step = Array.length cb.term_pre = 0 in
+      match cb.cterm with
+      | I.CTBr (o, b1, b2) ->
+        (match o with
+        | I.Rs s ->
+          emit b (stepped B.o_br_s ~step);
+          emit b s; emit b cb.term_lbl; emit b bid
+        | _ ->
+          let ok, ov = rop_enc o in
+          emit b (stepped B.o_br ~step);
+          emit b ok; emit b ov; emit b cb.term_lbl; emit b bid);
+        emit_target ~src:bid ~dst:b1;
+        emit_target ~src:bid ~dst:b2
+      | I.CTJmp b1 ->
+        emit b (stepped B.o_jmp ~step);
+        emit b bid;
+        emit_target ~src:bid ~dst:b1
+      | I.CTRet o ->
+        let ok, ov = match o with Some o -> rop_enc o | None -> (3, 0) in
+        emit b (stepped B.o_ret ~step);
+        emit b ok; emit b ov
+    end
+  in
+  (* Prologue: entry actions, then the virtual entry edge (prev = 0) into
+     block 0, one execution of block 0 counted, falling through. *)
+  emit_actions f.entry_acts;
+  if nblocks > 0 then begin
+    if nphis.(0) > 0 then emit_phi_edge ~src:0 ~dst:0;
+    emit b B.o_block;
+    emit b block0
+  end;
+  (* Block bodies, with pair fusion. *)
+  Array.iteri
+    (fun bid (cb : I.cblock) ->
+      body_pc.(bid) <- b.n;
+      let n = Array.length cb.body in
+      let i = ref nphis.(bid) in
+      let fused_term = ref false in
+      while !i < n do
+        let ci = cb.body.(!i) in
+        let next = if !i + 1 < n then Some cb.body.(!i + 1) else None in
+        (match (ci.ckind, next) with
+        (* INDEX ; LOAD through its result — one dispatch, two steps. *)
+        | I.CIndex (d, src, iop), Some ({ ckind = I.CLoad (d2, p); _ } as nx)
+          when p = d && no_acts ci && Array.length nx.pre = 0 ->
+          let iok, iov = rop_enc iop in
+          emit b B.o_idxload;
+          emit b d; emit b src; emit b iok; emit b iov;
+          emit b d2; emit b nx.clbl;
+          emit_actions nx.post;
+          i := !i + 2
+        (* INDEX ; STORE through its result. *)
+        | I.CIndex (d, src, iop), Some ({ ckind = I.CStore (p, v); _ } as nx)
+          when p = d && no_acts ci && Array.length nx.pre = 0 ->
+          let iok, iov = rop_enc iop in
+          let vok, vov = rop_enc v in
+          emit b B.o_idxstore;
+          emit b d; emit b src; emit b iok; emit b iov;
+          emit b vok; emit b vov; emit b nx.clbl;
+          emit_actions nx.post;
+          i := !i + 2
+        (* Last compare/arith feeding the conditional branch. *)
+        | I.CBinop (d, bop, I.Rs s1, o2), None
+          when no_acts ci
+               && Array.length cb.term_pre = 0
+               && (match cb.cterm with
+                  | I.CTBr (I.Rs c, _, _) -> c = d
+                  | _ -> false)
+               && (match o2 with I.Rs _ | I.Rc _ -> true | _ -> false) ->
+          let b1, b2 =
+            match cb.cterm with I.CTBr (_, x, y) -> (x, y) | _ -> assert false
+          in
+          (match o2 with
+          | I.Rs s2 ->
+            emit b B.o_cmpbr_ss;
+            emit b d; emit b (binop_enc bop); emit b s1; emit b s2
+          | I.Rc c2 ->
+            emit b B.o_cmpbr_sc;
+            emit b d; emit b (binop_enc bop); emit b s1; emit b c2
+          | _ -> assert false);
+          emit b cb.term_lbl; emit b bid;
+          emit_target ~src:bid ~dst:b1;
+          emit_target ~src:bid ~dst:b2;
+          fused_term := true;
+          incr i
+        | _ ->
+          emit_instr ci;
+          incr i)
+      done;
+      emit_term cb bid ~fused:!fused_term)
+    f.cblocks;
+  (* Edge trampolines for phi-receiving targets, then patch all targets. *)
+  let tramp = Hashtbl.create 16 in
+  List.iter
+    (fun (_, src, dst) ->
+      if nphis.(dst) > 0 && not (Hashtbl.mem tramp (src, dst)) then begin
+        Hashtbl.replace tramp (src, dst) b.n;
+        emit_phi_edge ~src ~dst;
+        emit b B.o_goto;
+        emit b body_pc.(dst)
+      end)
+    (List.rev !patches);
+  List.iter
+    (fun (at, src, dst) ->
+      b.a.(at) <-
+        (if nphis.(dst) > 0 then Hashtbl.find tramp (src, dst)
+         else body_pc.(dst)))
+    !patches;
+  let entry_delta = Array.make B.ndelta 0 in
+  acc_actions entry_delta f.entry_acts;
+  {
+    B.fname = f.cfname;
+    code = contents b;
+    nslots = f.nslots + scratch;
+    base_slots = f.nslots;
+    params = f.cparams;
+    entry_delta;
+    nblocks;
+    block0;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* Highest label mentioned anywhere (labels are dense from the front end,
+   but CCheck can carry the synthetic -2); sizes the exec label bitmaps. *)
+let max_label (cp : I.cprog) : int =
+  let m = ref 0 in
+  let act = function
+    | I.CCheck (_, l) -> if l > !m then m := l
+    | _ -> ()
+  in
+  Hashtbl.iter
+    (fun _ (cf : I.cfunc) ->
+      Array.iter (fun a -> act a) cf.entry_acts;
+      Array.iter
+        (fun (cb : I.cblock) ->
+          if cb.term_lbl > !m then m := cb.term_lbl;
+          Array.iter (fun a -> act a) cb.term_pre;
+          Array.iter
+            (fun (ci : I.cinstr) ->
+              if ci.clbl > !m then m := ci.clbl;
+              Array.iter (fun a -> act a) ci.pre;
+              Array.iter (fun a -> act a) ci.post)
+            cb.body)
+        cf.cblocks)
+    cp.funcs;
+  !m
+
+let lower (cp : I.cprog) : B.prog =
+  let names = ref [] in
+  let nnames = ref 0 in
+  let name_tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let intern s =
+    match Hashtbl.find_opt name_tbl s with
+    | Some i -> i
+    | None ->
+      let i = !nnames in
+      incr nnames;
+      Hashtbl.replace name_tbl s i;
+      names := s :: !names;
+      i
+  in
+  let fnames =
+    Hashtbl.fold (fun n _ acc -> n :: acc) cp.funcs [] |> List.sort compare
+  in
+  let fun_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace fun_index n i) fnames;
+  let fidx_of n = Hashtbl.find_opt fun_index n in
+  let ctx = { intern; fidx_of } in
+  (* Intern every function name up front so name2func covers them all. *)
+  List.iter (fun n -> ignore (intern n)) fnames;
+  let nblocks = ref 0 in
+  let deltas = ref [] in
+  let funcs =
+    Array.of_list
+      (List.map
+         (fun n ->
+           let cf = Hashtbl.find cp.funcs n in
+           let block0 = !nblocks in
+           nblocks := !nblocks + Array.length cf.cblocks;
+           Array.iter (fun cb -> deltas := block_delta cb :: !deltas) cf.cblocks;
+           lower_func ctx ~block0 cf)
+         fnames)
+  in
+  let deltas_flat = Array.make (B.ndelta * !nblocks) 0 in
+  List.iteri
+    (fun rev_i d ->
+      let i = !nblocks - 1 - rev_i in
+      Array.blit d 0 deltas_flat (B.ndelta * i) B.ndelta)
+    !deltas;
+  let names_arr = Array.of_list (List.rev !names) in
+  let name2func =
+    Array.map
+      (fun n -> match Hashtbl.find_opt fun_index n with Some i -> i | None -> -1)
+      names_arr
+  in
+  {
+    B.funcs;
+    fun_index;
+    names = names_arr;
+    name2func;
+    main = Hashtbl.find fun_index "main";
+    globals = cp.globals;
+    global_objid = cp.global_objid;
+    nglobal_slots = cp.nglobal_slots;
+    has_shadow = cp.has_shadow;
+    nlabels = max_label cp + 1;
+    nblocks = !nblocks;
+    deltas = deltas_flat;
+  }

@@ -122,7 +122,7 @@ let reply_line_parses () =
 let cache_basics () =
   let c = Serve.Cache.create ~cap:2 in
   let k s = Serve.Cache.key ~cmd:"analyze" ~level:"O0+IM" ~variant:"usher"
-      ~knobs_fp:"fp" ~src:s
+      ~engine:"interp" ~knobs_fp:"fp" ~src:s
   in
   Alcotest.(check bool) "miss" true (Serve.Cache.find c (k "a") = None);
   Serve.Cache.store c (k "a") { Serve.Cache.code = 0; output = "A" };
@@ -355,6 +355,7 @@ let server_crash_isolation () =
               ~variant:Usher.Config.Usher_full b src
           else
             Serve.Handlers.run ~knobs ~level:Optim.Pipeline.O0_IM
+              ~engine:Vm.Engine.Interp
               ~variant:Usher.Config.Usher_full b src
         in
         let line = by_id id in
@@ -587,6 +588,7 @@ let prop_shed_within_deadline =
          with_tmpdir @@ fun dir ->
          let t, out, collected = mk_server ~jobs:1 ~max_queue:1 dir in
          (* occupy the worker, then fill the queue watermark *)
+         let t_hold = Obs.Clock.now_s () in
          Serve.Server.handle_line t ~out
            (req_json ~id:"hold" ~cmd:"run" ~source:src_clean
               ~extra:{|,"sleep_ms":300|} ());
@@ -595,23 +597,32 @@ let prop_shed_within_deadline =
               ~extra:{|,"sleep_ms":50|} ());
          let ok = ref true in
          for i = 1 to burst do
-           let before = List.length (collected ()) in
-           let t0 = Obs.Clock.now_s () in
-           Serve.Server.handle_line t ~out
-             (req_json ~id:(Printf.sprintf "s%d" i) ~cmd:"run"
-                ~source:src_clean ());
-           let dt = Obs.Clock.now_s () -. t0 in
-           let after = collected () in
-           (* the shed reply is already there when handle_line returns *)
-           let shed =
-             List.filter
-               (fun l ->
-                 reply_id l = Printf.sprintf "s%d" i
-                 && reply_status l = "overloaded")
-               after
-           in
-           if not (List.length after = before + 1 && List.length shed = 1 && dt < 0.25)
-           then ok := false
+           (* only assert while the 300ms hold provably still occupies the
+              worker (so the queue slot is provably still full) — on a
+              loaded box a long burst can outlive the hold, after which a
+              request legitimately queues instead of shedding *)
+           if Obs.Clock.now_s () -. t_hold < 0.25 then begin
+             let before = List.length (collected ()) in
+             let t0 = Obs.Clock.now_s () in
+             Serve.Server.handle_line t ~out
+               (req_json ~id:(Printf.sprintf "s%d" i) ~cmd:"run"
+                  ~source:src_clean ());
+             let dt = Obs.Clock.now_s () -. t0 in
+             let after = collected () in
+             (* the shed reply is already there when handle_line returns *)
+             let shed =
+               List.filter
+                 (fun l ->
+                   reply_id l = Printf.sprintf "s%d" i
+                   && reply_status l = "overloaded")
+                 after
+             in
+             if
+               not
+                 (List.length after = before + 1
+                 && List.length shed = 1 && dt < 0.25)
+             then ok := false
+           end
          done;
          Serve.Server.drain t;
          !ok))
