@@ -20,8 +20,11 @@
    - deterministic: the same seed always yields the structurally
      identical AST (the only randomness source is [Workloads.Rng]);
    - always terminating: every loop is counted with a literal bound and
-     a structural [i = i + 1] step, and calls only target functions
-     generated *earlier*, so the call graph is acyclic;
+     a structural [i = i + 1] step, and every call either targets a
+     function generated *earlier* or descends a mutually recursive pair
+     whose depth parameter is a literal decremented to a structural
+     [d <= 0] base case — the call graph has cycles (the recursive
+     shape's two-function SCC) but every descent is depth-bounded;
    - runtime-safe: no division or shift whose right operand can be zero
      or out of range, every array index is masked into bounds with
      [& (size-1)] over power-of-two sizes, and no pointer is ever
@@ -498,6 +501,102 @@ let shape_scalar_mix ctx name =
   push ctx
     (Ifunc { fret = Tint; fdname = name; fparams = [ (Tint, "n") ]; fbody = body })
 
+(* Deep call chain with mutual recursion: a pair of functions that call
+   each other down a literal depth, threading an address-taken local
+   through an [int*] out-parameter at every level. The pair is one
+   callgraph SCC, so compositional resolution must compose their
+   summaries across the SCC boundary: whether the threaded cell is still
+   ⊥ at the read depends on which leg of the descent (if any) wrote it
+   — both the Ecall and Eret edges have to be instantiated right. *)
+let shape_mutual_chain ctx name =
+  let fa = fresh ctx "fzma" and fb = fresh ctx "fzmb" in
+  let feab = { def_ints = [ "d" ]; undef_ints = [] } in
+  (* fa: base case writes the caller's cell; otherwise it threads a fresh
+     address-taken local down through fb and reads it back (the read is
+     of ⊥ whenever fb's descent never stored). *)
+  let ta = fresh ctx "t" in
+  let body_a =
+    [
+      Sif
+        ( Ebinop (Ble, Eident "d", Eint 0),
+          [
+            Sassign (Ederef (Eident "out"), int_expr ctx feab 1);
+            Sreturn (Some (lit ctx));
+          ],
+          [] );
+      Sdecl (Tint, ta, None);
+      Sexpr
+        (Ecall (fb, [ Eaddr (Eident ta); Ebinop (Bsub, Eident "d", Eint 1) ]));
+      Sassign
+        ( Ederef (Eident "out"),
+          Ebinop (Badd, Eident ta, int_expr ctx feab 1) );
+      Sreturn (Some (Ebinop (Badd, Eident ta, Ederef (Eident "out"))));
+    ]
+  in
+  (* fb: the base case deliberately leaves [*out] untouched, so ⊥ can
+     flow back up the whole chain; deeper levels may write it only on
+     one depth parity. *)
+  let tb = fresh ctx "u" in
+  let write_back =
+    Sassign (Ederef (Eident "out"), Ebinop (Badd, Eident tb, lit ctx))
+  in
+  let body_b =
+    [
+      Sif
+        ( Ebinop (Ble, Eident "d", Eint 0),
+          [ Sreturn (Some (int_expr ctx feab 1)) ],
+          [] );
+      Sdecl (Tint, tb, None);
+      Sexpr
+        (Ecall (fa, [ Eaddr (Eident tb); Ebinop (Bsub, Eident "d", Eint 1) ]));
+      (if Rng.bool ctx.rng then
+         Sif
+           ( Ebinop (Bgt, Ebinop (Brem, Eident "d", Eint 2), Eint 0),
+             [ write_back ],
+             [] )
+       else write_back);
+      Sreturn (Some (Eident tb));
+    ]
+  in
+  (* fa calls fb and is pushed first: a forward reference the lowerer's
+     signature prepass resolves, like any mutual recursion would need *)
+  push ctx
+    (Ifunc
+       {
+         fret = Tint;
+         fdname = fa;
+         fparams = [ (Tptr Tint, "out"); (Tint, "d") ];
+         fbody = body_a;
+       });
+  push ctx
+    (Ifunc
+       {
+         fret = Tint;
+         fdname = fb;
+         fparams = [ (Tptr Tint, "out"); (Tint, "d") ];
+         fbody = body_b;
+       });
+  (* the entry helper seeds the descent from its own address-taken local;
+     whether that cell comes back defined depends on the literal depth *)
+  let fe = { def_ints = [ "n" ]; undef_ints = [] } in
+  let cell = fresh ctx "m" and s = fresh ctx "s" in
+  let depth = 2 + Rng.int ctx.rng 5 in
+  let body =
+    [
+      Sdecl (Tint, cell, None);
+      Sdecl
+        (Tint, s, Some (Ecall (fa, [ Eaddr (Eident cell); Eint depth ])));
+      Sreturn
+        (Some
+           (Ebinop
+              ( Badd,
+                Eident s,
+                Ebinop (Badd, Eident cell, int_expr ctx fe 1) )));
+    ]
+  in
+  push ctx
+    (Ifunc { fret = Tint; fdname = name; fparams = [ (Tint, "n") ]; fbody = body })
+
 (* ---- whole programs ---- *)
 
 let shapes =
@@ -508,6 +607,7 @@ let shapes =
     (2, shape_fp_dispatch);
     (3, shape_array_walk);
     (3, shape_scalar_mix);
+    (2, shape_mutual_chain);
   ]
 
 let pick_shape ctx =

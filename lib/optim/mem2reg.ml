@@ -63,7 +63,23 @@ let run_func (p : P.t) (f : func) : func * stats =
   if Hashtbl.length allocs = 0 then (f, { promoted = 0; phis_inserted = 0 })
   else begin
     let dom = Analysis.Dominance.compute f in
-    let alloc_ids = Hashtbl.fold (fun v _ acc -> v :: acc) allocs [] in
+    (* Promote in the allocs' IR order, not Hashtbl order: bucket layout
+       hashes raw var ids, which come from a process-global counter, so
+       hash order makes this function's phi placement depend on how many
+       variables *earlier* functions happened to allocate. IR order is
+       content-determined, keeping every downstream artifact — SSA names,
+       VFG shape, summary content keys — stable under edits elsewhere. *)
+    let alloc_ids =
+      let acc = ref [] in
+      Ir.Func.iter_instrs
+        (fun _ i ->
+          match i.kind with
+          | Alloc a when Hashtbl.mem allocs a.adst ->
+            if not (List.memq a.adst !acc) then acc := a.adst :: !acc
+          | _ -> ())
+        f;
+      List.rev !acc
+    in
     let nalloc = List.length alloc_ids in
     let index_of = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace index_of v i) alloc_ids;

@@ -1,0 +1,951 @@
+(* Compositional definedness resolution over per-function value-flow
+   summaries (DESIGN.md §12).
+
+   The monolithic resolver (Vfg.Resolve) walks the whole VFG backwards
+   from the F root, one (node, context) state at a time. This engine
+   exploits the builder's locality invariant — every Eintra edge stays
+   inside one function's fragment (or lands on a root) — to decompose
+   that walk per function:
+
+   - A {e source} of function g is a g-owned node through which the
+     backward search can enter g: it has a non-Eintra out-edge (a call or
+     return crossing) or depends directly on the F root.
+   - The {e summary} of g maps each source s to its member closure: every
+     g-owned node with a forward Eintra path to s, in BFS order. Members
+     inherit s's search context unchanged (Eintra never changes context),
+     so the closure is context-independent and caller-independent — one
+     artifact serves the context-sensitive and -insensitive searches and
+     both graphs (TL+AT and TL).
+   - {e Instantiation} replays the monolithic search over (source,
+     context) states: popping (s, c) marks s's members ⊥ and crosses the
+     members' call/return in-edges exactly as Vfg.Resolve would — a
+     reversed Ecall(l) enters the callee at context l, a reversed Eret(l)
+     leaves it (context Any, fires iff c is Any or l). Any subsumes At,
+     with the same push-time dedup and pop-time stale-At skip as the
+     monolithic engine, so the marked set — and hence Γ — is identical.
+   - {e Pruning}: a source with no Any-producing out-edge (no Eret
+     out-edge, no direct F dependence) can only ever be reached at the
+     contexts of its own Ecall out-edges, so return exits labelled
+     outside that set are provably redundant for every caller and are
+     dropped before propagation.
+
+   Summaries are solved bottom-up over Analysis.Callgraph.bottom_up_sccs
+   and, when a cache directory is given, persisted per SCC under a
+   content key: the digest of the SCC functions' canonical IR plus their
+   canonical Eintra fragments plus the keys of all callee SCCs. Editing
+   one function therefore invalidates exactly that function's SCC and
+   its transitive callers. Canonical names are process-independent and
+   shift-invariant ("v<k>" by first-occurrence walk order for top-level
+   nodes; memory versions by per-owner location and version ranks),
+   because raw variable ids, memory version numbers, and heap location
+   names all embed process-global counters that an edit in one function
+   would otherwise shift for every later function.
+
+   Correctness never depends on the cache or the precomputation: any
+   activated source without a summary (fallback SCC, stale entry, a new
+   caller discovering a source the cold pass never saw) gets an
+   on-demand closure, which is the same exact computation. A faulting
+   SCC falls back to exactly that; a corrupt cache entry is removed and
+   recomputed, never trusted. *)
+
+open Ir.Types
+module G = Vfg.Graph
+
+(* Per-analysis counters; the registry mirrors them process-wide so CI
+   can assert reuse behaviour through `usherc --metrics`. *)
+type stats = {
+  mutable computed : int;     (* summaries computed from the IR *)
+  mutable reused : int;       (* summaries loaded from the cache *)
+  mutable recomputed : int;   (* computed while a cache was configured *)
+  mutable pruned : int;       (* return exits dropped as redundant *)
+  mutable fallback_sccs : int;(* SCCs resolved without summaries *)
+  mutable cache_corrupt : int;(* cache entries rejected by checksum *)
+}
+
+let fresh_stats () =
+  {
+    computed = 0;
+    reused = 0;
+    recomputed = 0;
+    pruned = 0;
+    fallback_sccs = 0;
+    cache_corrupt = 0;
+  }
+
+let m_computed = Obs.Metrics.counter "summary.computed"
+let m_reused = Obs.Metrics.counter "summary.reused"
+let m_recomputed = Obs.Metrics.counter "summary.recomputed"
+let m_pruned = Obs.Metrics.counter "summary.pruned"
+let m_fallback = Obs.Metrics.counter "summary.fallback_sccs"
+let m_corrupt = Obs.Metrics.counter "summary.cache_corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical naming                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* First-occurrence walk of a function: parameters, then every block in
+   array order, each instruction's def before its uses, then the
+   terminator's uses. The resulting per-function index is stable across
+   processes, unlike the program-wide variable ids. *)
+let walk_func (f : func) ~(touch : var -> unit) : unit =
+  List.iter touch f.params;
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun (i : instr) ->
+          (match Ir.Instr.def_of i.kind with
+          | Some d -> touch d
+          | None -> ());
+          List.iter touch (Ir.Instr.uses_of i.kind))
+        b.instrs;
+      List.iter touch (Ir.Instr.term_uses b.term.tkind))
+    f.blocks
+
+type naming = {
+  var_idx : (var, int) Hashtbl.t;      (* var -> per-function walk index *)
+  var_owner : (var, fname) Hashtbl.t;  (* var -> walking function *)
+  var_name : (var, string) Hashtbl.t;  (* var -> prerendered "v<idx>" *)
+}
+
+(* Prerendered decimal strings: key rendering touches every node and
+   every IR token on every analyze, warm or cold. *)
+let small_int =
+  lazy (Array.init 1024 string_of_int)
+
+let int_str (n : int) : string =
+  if n >= 0 && n < 1024 then (Lazy.force small_int).(n) else string_of_int n
+
+let vname_str =
+  lazy (Array.init 1024 (fun i -> "v" ^ string_of_int i))
+
+let build_naming (prog : Ir.Prog.t) : naming =
+  let var_idx = Hashtbl.create 4096 in
+  let var_owner = Hashtbl.create 4096 in
+  let var_name = Hashtbl.create 4096 in
+  let vn = Lazy.force vname_str in
+  Ir.Prog.iter_funcs
+    (fun f ->
+      let next = ref 0 in
+      let touch v =
+        if not (Hashtbl.mem var_idx v) then begin
+          let i = !next in
+          Hashtbl.replace var_idx v i;
+          Hashtbl.replace var_owner v f.fname;
+          Hashtbl.replace var_name v
+            (if i < 1024 then vn.(i) else "v" ^ string_of_int i);
+          incr next
+        end
+      in
+      walk_func f ~touch)
+    prog;
+  { var_idx; var_owner; var_name }
+
+let storable_name (s : string) : bool =
+  String.length s > 0
+  && not (String.exists (fun c -> c = ' ' || c = '\n' || c = '\r') s)
+
+let node_owner (nm : naming) (n : G.node) : fname option =
+  match n with
+  | G.Root_t | G.Root_f -> None
+  | G.Top v -> Hashtbl.find_opt nm.var_owner v
+  | G.Mem (f, _, _) -> Some f
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization (content keys)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Label-free, position-based rendering of one function's IR. Constants
+   are included so a literal edit changes the key; statement labels are
+   omitted so the key is insensitive to the program-wide label counter.
+   This is on the warm path (keys are recomputed every run to find the
+   cache entries), so it writes straight into the buffer — no [sprintf]
+   round-trips. *)
+let ir_serial (nm : naming) (f : func) (b : Buffer.t) : unit =
+  let add = Buffer.add_string b in
+  let ch = Buffer.add_char b in
+  let int n = add (int_str n) in
+  let v x =
+    match Hashtbl.find_opt nm.var_name x with
+    | Some s -> add s
+    | None -> ch '?'
+  in
+  let op = function
+    | Cst n ->
+      ch 'c';
+      int n
+    | Var x -> v x
+    | Undef -> ch 'u'
+  in
+  let sp () = ch ' ' in
+  add "fn ";
+  add f.fname;
+  ch '/';
+  int (List.length f.params);
+  ch '\n';
+  Array.iter
+    (fun blk ->
+      ch 'b';
+      int blk.bid;
+      ch '\n';
+      List.iter
+        (fun (i : instr) ->
+          (match i.kind with
+          | Const (x, n) ->
+            add "C ";
+            v x;
+            sp ();
+            int n
+          | Copy (x, o) ->
+            add "Y ";
+            v x;
+            sp ();
+            op o
+          | Unop (x, u, o) ->
+            add "U ";
+            v x;
+            sp ();
+            add (unop_to_string u);
+            sp ();
+            op o
+          | Binop (x, bo, o1, o2) ->
+            add "B ";
+            v x;
+            sp ();
+            add (binop_to_string bo);
+            sp ();
+            op o1;
+            sp ();
+            op o2
+          | Alloc a ->
+            add "A ";
+            v a.adst;
+            sp ();
+            add a.aname;
+            sp ();
+            ch (match a.region with Stack -> 's' | Heap -> 'h' | Global -> 'g');
+            sp ();
+            add (if a.initialized then "true" else "false");
+            sp ();
+            (match a.asize with
+            | Fields n ->
+              ch 'F';
+              int n
+            | Array_of o ->
+              ch 'R';
+              op o)
+          | Load (x, y) ->
+            add "L ";
+            v x;
+            sp ();
+            v y
+          | Store (x, o) ->
+            add "S ";
+            v x;
+            sp ();
+            op o
+          | Field_addr (x, y, k) ->
+            add "FA ";
+            v x;
+            sp ();
+            v y;
+            sp ();
+            int k
+          | Index_addr (x, y, o) ->
+            add "IA ";
+            v x;
+            sp ();
+            v y;
+            sp ();
+            op o
+          | Global_addr (x, g) ->
+            add "GA ";
+            v x;
+            sp ();
+            add g
+          | Func_addr (x, fn) ->
+            add "FP ";
+            v x;
+            sp ();
+            add fn
+          | Call c ->
+            add "K ";
+            (match c.cdst with Some x -> v x | None -> ch '_');
+            sp ();
+            (match c.callee with
+            | Direct fn ->
+              add "d:";
+              add fn
+            | Indirect x ->
+              add "i:";
+              v x);
+            sp ();
+            List.iteri
+              (fun i o ->
+                if i > 0 then ch ',';
+                op o)
+              c.cargs
+          | Phi (x, prs) ->
+            add "P ";
+            v x;
+            sp ();
+            List.iteri
+              (fun i (bid, o) ->
+                if i > 0 then ch ',';
+                int bid;
+                ch ':';
+                op o)
+              prs
+          | Output o ->
+            add "O ";
+            op o
+          | Input x ->
+            add "I ";
+            v x);
+          ch '\n')
+        blk.instrs;
+      (match blk.term.tkind with
+      | Br (o, b1, b2) ->
+        add "br ";
+        op o;
+        sp ();
+        int b1;
+        sp ();
+        int b2
+      | Jmp bid ->
+        add "jmp ";
+        int bid
+      | Ret None -> add "ret"
+      | Ret (Some o) ->
+        add "ret ";
+        op o);
+      ch '\n')
+    f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Shared per-program precomputation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The naming and the canonical IR strings depend only on the program,
+   not on the graph being resolved, so one [prep] amortizes them across
+   the TL+AT and TL resolutions of an analysis (both recompute content
+   keys every run to address the cache — this is the warm path's fixed
+   cost). Lazy + memoized: a run without a cache directory never touches
+   any of it. *)
+type prep = {
+  p_prog : Ir.Prog.t;
+  p_nm : naming Lazy.t;
+  p_ir : (fname, string) Hashtbl.t;  (* function -> digest of canonical IR *)
+}
+
+let prep ~(prog : Ir.Prog.t) : prep =
+  { p_prog = prog; p_nm = lazy (build_naming prog); p_ir = Hashtbl.create 64 }
+
+(* The content key chains through a fixed-width digest of each
+   function's canonical IR rather than the serialization itself: the
+   serialization is hashed once per function per process, and the SCC
+   key buffer stays proportional to the fragment, not the code. *)
+let ir_of (p : prep) (fn : fname) : string =
+  match Hashtbl.find_opt p.p_ir fn with
+  | Some s -> s
+  | None ->
+    let b = Buffer.create 1024 in
+    (match Ir.Prog.find_func p.p_prog fn with
+    | Some f -> ir_serial (Lazy.force p.p_nm) f b
+    | None ->
+      Buffer.add_string b "fn? ";
+      Buffer.add_string b fn;
+      Buffer.add_char b '\n');
+    let s = Digest.string (Buffer.contents b) in
+    Hashtbl.replace p.p_ir fn s;
+    s
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A source's resolved summary plus its instantiation-time state. Exits
+   are derived lazily at first activation — they depend on caller-side
+   edges, so they are never part of the cached artifact. *)
+type sentry = {
+  members : int array;
+  mutable marked : bool;
+  mutable exits_done : bool;
+  mutable call_exits : (int * label) array;
+  mutable ret_exits : (int * label) array;
+}
+
+let mk_entry members =
+  { members; marked = false; exits_done = false; call_exits = [||];
+    ret_exits = [||] }
+
+let resolve ?(context_sensitive = true) ?budget ?cache ?prep:shared_prep
+    ?(hook = fun (_ : fname) -> ()) ?(on_fallback = fun _ _ -> ())
+    ?(on_corrupt = fun (_ : string) -> ()) ~(stats : stats)
+    ~(prog : Ir.Prog.t) ~objects:(_ : Analysis.Objects.t)
+    ~(cg : Analysis.Callgraph.t) (graph : G.t) : Vfg.Resolve.gamma =
+  Obs.Trace.with_span ~cat:"summary" "summary.resolve" @@ fun () ->
+  let n = G.nnodes graph in
+  let undef = Bytes.make n '\000' in
+  let states = ref 0 in
+  let tick () =
+    match budget with
+    | Some b -> Diag.Budget.tick b Diag.Resolve
+    | None -> ()
+  in
+  let burn () =
+    match budget with
+    | Some b -> Diag.Budget.burn_resolve b Diag.Resolve
+    | None -> ()
+  in
+  match G.find graph G.Root_f with
+  | None -> { Vfg.Resolve.undef; states_explored = 0; condensed_sccs = 0 }
+  | Some froot ->
+    (* Forward Eintra closure towards s, over reversed edges: every node
+       that can feed s without crossing a call/return. The builder's
+       locality invariant keeps this inside s's function. BFS order is
+       the canonical member order. *)
+    let closure (s : int) : int array =
+      let seen = Hashtbl.create 16 in
+      let q = Queue.create () in
+      let order = ref [] in
+      Hashtbl.replace seen s ();
+      Queue.push s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        tick ();
+        order := u :: !order;
+        List.iter
+          (fun (w, k) ->
+            if k = G.Eintra && not (Hashtbl.mem seen w) then begin
+              Hashtbl.replace seen w ();
+              Queue.push w q
+            end)
+          (G.preds graph u)
+      done;
+      Array.of_list (List.rev !order)
+    in
+    let is_source (u : int) : bool =
+      List.exists
+        (fun (w, k) -> k <> G.Eintra || w = froot)
+        (G.succs graph u)
+    in
+    (* Resolved summaries by source node id; filled bottom-up (cold), at
+       activation (warm), or on demand (fallback). *)
+    let entries : (int, sentry) Hashtbl.t = Hashtbl.create 2048 in
+    (* Loaded cache entries, already resolved to node ids at load time:
+       source node -> ordered member nodes. Activation is a bare lookup. *)
+    let loaded : (int, int array) Hashtbl.t = Hashtbl.create 2048 in
+    let pr =
+      match shared_prep with Some p -> p | None -> prep ~prog
+    in
+    let nm = Lazy.force pr.p_nm in
+    (* Graph nodes bucketed per owning function, in node-id order. *)
+    let by_func : (fname, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    G.iter_nodes
+      (fun id node ->
+        match node_owner nm node with
+        | Some fn -> (
+          match Hashtbl.find_opt by_func fn with
+          | Some l -> l := id :: !l
+          | None -> Hashtbl.replace by_func fn (ref [ id ]))
+        | None -> ())
+      graph;
+    (* Finalized buckets: ascending node-id arrays, built once. *)
+    let by_func_arr : (fname, int array) Hashtbl.t =
+      Hashtbl.create (Hashtbl.length by_func)
+    in
+    Hashtbl.iter
+      (fun fn l ->
+        let ids = !l in
+        let k = List.length ids in
+        let a = Array.make k 0 in
+        (* The bucket list is in descending id order; fill backwards. *)
+        let j = ref (k - 1) in
+        List.iter
+          (fun id ->
+            a.(!j) <- id;
+            decr j)
+          ids;
+        Hashtbl.replace by_func_arr fn a)
+      by_func;
+    let nodes_of fn =
+      match Hashtbl.find_opt by_func_arr fn with
+      | Some a -> a
+      | None -> [||]
+    in
+    (* Per-function canonical node order (ordinal -> node id), recorded
+       by the key pass for every cacheable SCC. Stored summaries refer to
+       nodes by their ordinal in this order — process-independent because
+       the order is, and string-free on the warm path. *)
+    let canon : (fname, int array) Hashtbl.t = Hashtbl.create 16 in
+    (* Memory-SSA version numbers AND abstract-location names both embed
+       program-global counters (versions a global def counter, heap
+       locations their allocation-site label), so an edit in one function
+       uniformly shifts every later function's values without changing
+       its value flow — raw versions or location names in keys would
+       invalidate most of the cache on any edit. Keys therefore use
+       RANKS, both content-determined within the owning function and
+       invariant under the uniform shift: a location ranks by the first
+       appearance of any of its versions among the owner's nodes (graph
+       construction order, which is content-deterministic), a version by
+       its sort position among the owner's distinct versions of that
+       location. (owner, location rank, version rank) is unique per node;
+       dependency tags embed the owner's name so equal ranks of different
+       owners never collide. *)
+    let vranks :
+        ((fname * int, (int, int) Hashtbl.t) Hashtbl.t
+        * (fname * int, int) Hashtbl.t)
+        Lazy.t =
+      lazy
+        (let t = Hashtbl.create 64 in
+         let first : (fname * int, int) Hashtbl.t = Hashtbl.create 64 in
+         G.iter_nodes
+           (fun id n ->
+             match n with
+             | G.Mem (f, l, ver) ->
+               let tbl =
+                 match Hashtbl.find_opt t (f, l) with
+                 | Some tbl -> tbl
+                 | None ->
+                   let tbl = Hashtbl.create 8 in
+                   Hashtbl.replace t (f, l) tbl;
+                   tbl
+               in
+               Hashtbl.replace tbl ver (-1);
+               (match Hashtbl.find_opt first (f, l) with
+               | Some m when m <= id -> ()
+               | _ -> Hashtbl.replace first (f, l) id)
+             | _ -> ())
+           graph;
+         Hashtbl.iter
+           (fun _ tbl ->
+             Hashtbl.fold (fun v _ acc -> v :: acc) tbl []
+             |> List.sort compare
+             |> List.iteri (fun i v -> Hashtbl.replace tbl v i))
+           t;
+         let by_f : (fname, (int * int) list ref) Hashtbl.t =
+           Hashtbl.create 64
+         in
+         Hashtbl.iter
+           (fun (f, l) id ->
+             match Hashtbl.find_opt by_f f with
+             | Some r -> r := (id, l) :: !r
+             | None -> Hashtbl.replace by_f f (ref [ (id, l) ]))
+           first;
+         let lranks : (fname * int, int) Hashtbl.t = Hashtbl.create 64 in
+         Hashtbl.iter
+           (fun f r ->
+             List.sort compare !r
+             |> List.iteri (fun i (_, l) -> Hashtbl.replace lranks (f, l) i))
+           by_f;
+         (t, lranks))
+    in
+    (* Canonical per-function sort key of a node, string-free for the
+       common Top case: Top nodes order by walk index, Mem nodes (few,
+       and absent from the TL graph) by version rank then owner-qualified
+       location name. [None] marks a node that cannot be named
+       process-independently; one such node makes its whole function
+       uncacheable. The key pass below runs on every analyze — warm or
+       cold — so this path avoids allocating a name string per node. *)
+    let ckey (id : int) : (int * int * string) option =
+      match G.node_of graph id with
+      | G.Top v -> (
+        match Hashtbl.find_opt nm.var_idx v with
+        | Some i -> Some (0, i, "")
+        | None -> None)
+      | G.Mem (f, l, ver) -> (
+        let vr, lr = Lazy.force vranks in
+        match (Hashtbl.find_opt vr (f, l), Hashtbl.find_opt lr (f, l)) with
+        | Some tbl, Some lrank -> (
+          match Hashtbl.find_opt tbl ver with
+          | None -> None
+          | Some vrank ->
+            let s = "m:" ^ f ^ ":" ^ int_str lrank in
+            if storable_name s then Some (1, vrank, s) else None)
+        | _ -> None)
+      | G.Root_t | G.Root_f -> None
+    in
+    (* Memoized once per node (filled by the key pass): a node is
+       referenced again by each of its Eintra dependents, and Mem keys
+       allocate. *)
+    let nkeys : (int * int * string) option array = Array.make n None in
+    (* Canonical dependency tag, ordered F < T < v<i> < m:... < ? *)
+    let dkey (w : int) : int * int * string =
+      if w = froot then (-2, 0, "")
+      else
+        match G.node_of graph w with
+        | G.Root_t -> (-1, 0, "")
+        | _ -> (
+          match nkeys.(w) with
+          | Some k -> k
+          | None -> (2, 0, ""))
+    in
+    let cmp3 (a1, b1, c1) (a2, b2, c2) =
+      if a1 <> (a2 : int) then compare a1 a2
+      else if b1 <> (b2 : int) then compare b1 b2
+      else String.compare c1 c2
+    in
+    let vn = Lazy.force vname_str in
+    let add_ckey b (rank, idx, s) =
+      match rank with
+      | -2 -> Buffer.add_char b 'F'
+      | -1 -> Buffer.add_char b 'T'
+      | 0 ->
+        if idx < 1024 then Buffer.add_string b vn.(idx)
+        else begin
+          Buffer.add_char b 'v';
+          Buffer.add_string b (string_of_int idx)
+        end
+      | 1 ->
+        Buffer.add_string b s;
+        Buffer.add_char b '_';
+        Buffer.add_string b (int_str idx)
+      | _ -> Buffer.add_char b '?'
+    in
+    (* Bottom-up SCC order and, when caching, the per-SCC content keys
+       (chained through callee keys so an edit invalidates exactly the
+       edited SCC and its transitive callers). *)
+    let sccs = Analysis.Callgraph.bottom_up_sccs cg in
+    let nsccs = Array.length sccs in
+    let scc_of : (fname, int) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun i fns -> List.iter (fun fn -> Hashtbl.replace scc_of fn i) fns)
+      sccs;
+    let keys : string option array = Array.make nsccs None in
+    let kb = Buffer.create 65536 in
+    (match cache with
+    | None -> ()
+    | Some _ ->
+      Obs.Trace.with_span ~cat:"summary" "summary.keys" @@ fun () ->
+      G.iter_nodes (fun id _ -> nkeys.(id) <- ckey id) graph;
+      for i = 0 to nsccs - 1 do
+        let fns =
+          match sccs.(i) with
+          | ([] | [ _ ]) as l -> l
+          | l -> List.sort compare l
+        in
+        let callee_keys =
+          List.concat_map
+            (fun fn ->
+              List.filter_map
+                (fun callee ->
+                  match Hashtbl.find_opt scc_of callee with
+                  | Some j when j <> i -> Some j
+                  | _ -> None)
+                (Analysis.Callgraph.callees_of cg fn))
+            fns
+          |> List.sort_uniq compare
+        in
+        let chain_ok =
+          List.for_all (fun j -> keys.(j) <> None) callee_keys
+        in
+        (* Pre-key every node of the SCC; one unnamable node makes the
+           whole SCC uncacheable (computed, never stored). *)
+        let storable = ref chain_ok in
+        let keyed =
+          List.map
+            (fun fn ->
+              let ids = nodes_of fn in
+              let k = Array.length ids in
+              let ks = Array.make k ((0, 0, ""), 0) in
+              (if !storable then
+                 try
+                   for j = 0 to k - 1 do
+                     match nkeys.(ids.(j)) with
+                     | Some ck -> ks.(j) <- (ck, ids.(j))
+                     | None -> raise Exit
+                   done
+                 with Exit -> storable := false);
+              if !storable then
+                Array.sort (fun (a, _) (b, _) -> cmp3 a b) ks;
+              (fn, ks))
+            fns
+        in
+        if !storable then begin
+          Buffer.clear kb;
+          let b = kb in
+          List.iter
+            (fun (fn, ks) ->
+              Hashtbl.replace canon fn (Array.map snd ks);
+              Buffer.add_string b (ir_of pr fn);
+              (* Canonical Eintra fragment: node -> sorted Eintra
+                 dependencies (F/T for the roots), nodes in canonical
+                 order. This captures everything the member closures can
+                 see, including whole-program analysis effects on this
+                 function's fragment. *)
+              Array.iter
+                (fun (k, id) ->
+                  add_ckey b k;
+                  Buffer.add_char b '>';
+                  (match
+                     List.filter_map
+                       (fun (w, e) ->
+                         if e <> G.Eintra then None else Some (dkey w))
+                       (G.succs graph id)
+                   with
+                  | [] -> ()
+                  | [ d ] -> add_ckey b d
+                  | ds ->
+                    List.iteri
+                      (fun n d ->
+                        if n > 0 then Buffer.add_char b ',';
+                        add_ckey b d)
+                      (List.sort_uniq cmp3 ds));
+                  Buffer.add_char b '\n')
+                ks)
+            keyed;
+          List.iter
+            (fun j ->
+              match keys.(j) with
+              | Some k -> Buffer.add_string b ("callee " ^ k ^ "\n")
+              | None -> ())
+            callee_keys;
+          keys.(i) <- Some (Digest.to_hex (Digest.string (Buffer.contents b)))
+        end
+      done);
+    (* Bottom-up summary pass: load each SCC's summaries from the cache
+       or compute (and persist) them. Faults degrade per SCC — its
+       functions simply resolve on demand at instantiation — except for
+       budget exhaustion, which is the whole phase's failure. *)
+    (Obs.Trace.with_span ~cat:"summary" "summary.compute" @@ fun () ->
+     for i = 0 to nsccs - 1 do
+       let fns = sccs.(i) in
+       try
+         List.iter hook fns;
+         let key = keys.(i) in
+         let hit =
+           match (cache, key) with
+           | Some dir, Some k -> (
+             match Store.load dir k with
+             | Store.Hit payload ->
+               List.iter
+                 (fun (fn, srcs) ->
+                   (match Hashtbl.find_opt canon fn with
+                   | None -> ()
+                   | Some arr ->
+                     let nn = Array.length arr in
+                     List.iter
+                       (fun (so, members) ->
+                         if so >= 0 && so < nn then begin
+                           (* Rewrite ordinals to node ids in place — the
+                              parser arrays are fresh. An out-of-range
+                              ordinal means a stale or foreign entry —
+                              skip the source, its closure recomputes on
+                              demand. *)
+                           let ok = ref true in
+                           let k = Array.length members in
+                           let j = ref 0 in
+                           while !ok && !j < k do
+                             let o = members.(!j) in
+                             if o >= 0 && o < nn then begin
+                               members.(!j) <- arr.(o);
+                               incr j
+                             end
+                             else ok := false
+                           done;
+                           if !ok then
+                             Hashtbl.replace loaded arr.(so) members
+                         end)
+                       srcs);
+                   stats.reused <- stats.reused + 1;
+                   Obs.Metrics.incr m_reused)
+                 payload;
+               true
+             | Store.Miss -> false
+             | Store.Corrupt p ->
+               stats.cache_corrupt <- stats.cache_corrupt + 1;
+               Obs.Metrics.incr m_corrupt;
+               on_corrupt p;
+               false)
+           | _ -> false
+         in
+         if not hit then begin
+           let payload =
+             List.map
+               (fun fn ->
+                 let srcs =
+                   Array.to_list (nodes_of fn)
+                   |> List.filter (fun id -> is_source id)
+                 in
+                 (* Inverse of the canonical order, for rendering stored
+                    ordinals — cold path only. *)
+                 let inv =
+                   match (cache, key, Hashtbl.find_opt canon fn) with
+                   | Some _, Some _, Some arr ->
+                     let h = Hashtbl.create (Array.length arr) in
+                     Array.iteri (fun o id -> Hashtbl.replace h id o) arr;
+                     Some h
+                   | _ -> None
+                 in
+                 let named =
+                   List.filter_map
+                     (fun s ->
+                       let ms = closure s in
+                       Hashtbl.replace entries s (mk_entry ms);
+                       match inv with
+                       | None -> None
+                       | Some h -> (
+                         match Hashtbl.find_opt h s with
+                         | None -> None
+                         | Some so ->
+                           let ok = ref true in
+                           let os =
+                             Array.map
+                               (fun m ->
+                                 match Hashtbl.find_opt h m with
+                                 | Some o -> o
+                                 | None ->
+                                   (* Member outside the owning function:
+                                      not representable — leave this
+                                      source out; warm runs recompute its
+                                      closure on demand. *)
+                                   ok := false;
+                                   -1)
+                               ms
+                           in
+                           if !ok then Some (so, os) else None))
+                     srcs
+                 in
+                 stats.computed <- stats.computed + 1;
+                 Obs.Metrics.incr m_computed;
+                 if cache <> None then begin
+                   stats.recomputed <- stats.recomputed + 1;
+                   Obs.Metrics.incr m_recomputed
+                 end;
+                 (fn, named))
+               (List.sort compare fns)
+           in
+           match (cache, key) with
+           | Some dir, Some k -> Store.write dir k payload
+           | _ -> ()
+         end
+       with
+       | Diag.Budget.Exhausted _ as e -> raise e
+       | e ->
+         stats.fallback_sccs <- stats.fallback_sccs + 1;
+         Obs.Metrics.incr m_fallback;
+         on_fallback fns (Diag.of_exn Diag.Resolve e)
+     done);
+    (* Instantiation: the summary-level replay of Vfg.Resolve.reach. *)
+    Obs.Trace.with_span ~cat:"summary" "summary.instantiate" @@ fun () ->
+    let activate (s : int) : sentry =
+      match Hashtbl.find_opt entries s with
+      | Some e -> e
+      | None ->
+        let e =
+          match Hashtbl.find_opt loaded s with
+          | Some ids -> mk_entry ids
+          | None -> mk_entry (closure s)
+        in
+        Hashtbl.replace entries s e;
+        e
+    in
+    let ensure_exits (s : int) (e : sentry) : unit =
+      if not e.exits_done then begin
+        let calls = ref [] and rets = ref [] in
+        Array.iter
+          (fun m ->
+            List.iter
+              (fun (w, k) ->
+                match k with
+                | G.Ecall l -> calls := (w, l) :: !calls
+                | G.Eret l -> rets := (w, l) :: !rets
+                | G.Eintra -> ())
+              (G.preds graph m))
+          e.members;
+        let rets = List.rev !rets in
+        let rets =
+          if not context_sensitive then rets
+          else begin
+            (* Pruning: without an Any-producing out-edge, s is only ever
+               reached at the contexts of its own call out-edges; return
+               exits labelled elsewhere can never fire. *)
+            let can_any = ref false in
+            let labels = ref [] in
+            List.iter
+              (fun (w, k) ->
+                match k with
+                | G.Eret _ -> can_any := true
+                | G.Eintra -> if w = froot then can_any := true
+                | G.Ecall l -> labels := l :: !labels)
+              (G.succs graph s);
+            if !can_any then rets
+            else begin
+              let kept =
+                List.filter (fun (_, l) -> List.mem l !labels) rets
+              in
+              let dropped = List.length rets - List.length kept in
+              if dropped > 0 then begin
+                stats.pruned <- stats.pruned + dropped;
+                Obs.Metrics.add m_pruned dropped
+              end;
+              kept
+            end
+          end
+        in
+        e.call_exits <- Array.of_list (List.rev !calls);
+        e.ret_exits <- Array.of_list rets;
+        e.exits_done <- true
+      end
+    in
+    (* States are (source, context) with context -1 = Any; Any subsumes
+       every At, mirrored from the monolithic engine's dedup. *)
+    let q : (int * int) Queue.t = Queue.create () in
+    let any_seen : (int, unit) Hashtbl.t = Hashtbl.create 2048 in
+    let at_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 2048 in
+    let push s ctx =
+      if ctx < 0 then begin
+        if not (Hashtbl.mem any_seen s) then begin
+          Hashtbl.replace any_seen s ();
+          Queue.push (s, -1) q
+        end
+      end
+      else if
+        (not (Hashtbl.mem any_seen s)) && not (Hashtbl.mem at_seen (s, ctx))
+      then begin
+        Hashtbl.replace at_seen (s, ctx) ();
+        Queue.push (s, ctx) q
+      end
+    in
+    Bytes.set undef froot '\001';
+    List.iter
+      (fun (u, k) ->
+        match k with
+        | G.Eintra -> push u (-1)
+        | G.Ecall l -> push u (if context_sensitive then l else -1)
+        | G.Eret _ -> push u (-1))
+      (G.preds graph froot);
+    let sample () =
+      if Obs.Trace.enabled () && !states land 255 = 1 then
+        Obs.Trace.counter ~cat:"summary" "summary.instantiate"
+          [ ("states", Obs.Trace.Int !states) ]
+    in
+    while not (Queue.is_empty q) do
+      let s, ctx = Queue.pop q in
+      incr states;
+      sample ();
+      burn ();
+      (* If Any arrived after this At state was queued, skip: Any will
+         (or did) explore strictly more. *)
+      let stale =
+        context_sensitive && ctx >= 0 && Hashtbl.mem any_seen s
+      in
+      if not stale then begin
+        let e = activate s in
+        if not e.marked then begin
+          e.marked <- true;
+          Array.iter
+            (fun m -> Bytes.unsafe_set undef m '\001')
+            e.members
+        end;
+        ensure_exits s e;
+        Array.iter
+          (fun (w, l) -> push w (if context_sensitive then l else -1))
+          e.call_exits;
+        Array.iter
+          (fun (w, l) ->
+            if (not context_sensitive) || ctx < 0 || ctx = l then push w (-1))
+          e.ret_exits
+      end
+    done;
+    { Vfg.Resolve.undef; states_explored = !states; condensed_sccs = 0 }

@@ -1,0 +1,59 @@
+(** Compositional definedness resolution (DESIGN.md §12): per-function
+    value-flow summaries solved bottom-up over the call-graph SCCs, with
+    redundant return-exit pruning, composed at call sites to reproduce
+    the monolithic Γ exactly, and optionally persisted in a
+    content-hashed artifact cache.
+
+    The produced {!Vfg.Resolve.gamma} marks the same node set as
+    [Vfg.Resolve.resolve] on the same graph and knobs — byte-identical
+    [undef] — while [states_explored] counts (source, context)
+    instantiation states and [condensed_sccs] is always 0 (this engine
+    never condenses). *)
+
+(** Per-analysis counters; each increment is mirrored to the process-wide
+    [summary.*] metrics. *)
+type stats = {
+  mutable computed : int;      (** summaries computed from the IR *)
+  mutable reused : int;        (** summaries loaded from the cache *)
+  mutable recomputed : int;    (** computed while a cache was configured *)
+  mutable pruned : int;        (** return exits dropped as redundant *)
+  mutable fallback_sccs : int; (** SCCs resolved without summaries *)
+  mutable cache_corrupt : int; (** cache entries rejected by checksum *)
+}
+
+val fresh_stats : unit -> stats
+
+(** Shared per-program precomputation: the canonical variable naming and
+    the per-function canonical IR digests that content keys chain
+    through. Both are graph-independent, so one [prep] serves the
+    TL+AT and TL resolutions of the same analysis — create it once per
+    [Pipeline.analyze] and pass it to both {!resolve} calls. Everything
+    inside is computed lazily and memoized. *)
+type prep
+
+val prep : prog:Ir.Prog.t -> prep
+
+(** Resolve Γ compositionally. [cache] names the artifact directory;
+    [hook] runs before each function's summary is solved (fault
+    injection); [on_fallback] reports an SCC whose summary pass faulted
+    (its functions are resolved exactly, on demand — never skipped);
+    [on_corrupt] reports a cache file rejected by checksum (already
+    removed; it will be recomputed). [budget] burns one unit of resolve
+    fuel per instantiation state — deterministic across cold and warm
+    caches — and ticks the deadline during summary computation.
+    Budget exhaustion propagates as [Diag.Budget.Exhausted], exactly
+    like the monolithic engine. *)
+val resolve :
+  ?context_sensitive:bool ->
+  ?budget:Diag.Budget.t ->
+  ?cache:string ->
+  ?prep:prep ->
+  ?hook:(Ir.Types.fname -> unit) ->
+  ?on_fallback:(Ir.Types.fname list -> Diag.t -> unit) ->
+  ?on_corrupt:(string -> unit) ->
+  stats:stats ->
+  prog:Ir.Prog.t ->
+  objects:Analysis.Objects.t ->
+  cg:Analysis.Callgraph.t ->
+  Vfg.Graph.t ->
+  Vfg.Resolve.gamma

@@ -1,0 +1,189 @@
+(* On-disk artifact store for per-SCC value-flow summaries.
+
+   One file per content key: [<dir>/<key>.sum]. The first line is a
+   header [usher-summary/1 <key> <md5>] where <md5> is the digest of the
+   body; the body lists, per function of the SCC, each summary source and
+   its ordered member-closure, one node per line, as ordinals into the
+   function's canonical node order (Engine's [canon]). Member order is
+   preserved verbatim so a warm load replays the exact traversal order of
+   the cold computation (cold and warm runs must be byte-identical all
+   the way down to the search-state counter).
+
+   Write discipline mirrors the daemon's reply cache (Serve.Cache): the
+   payload lands in a private temp file which is renamed into place —
+   the first writer wins and concurrent writers of the same key are
+   benign no-ops, because identical keys imply identical content. A
+   failed write is silently dropped: the cache accelerates, it never
+   gates.
+
+   Trust discipline: a loaded entry is believed only after its header
+   magic, embedded key, and body checksum all match. Anything else —
+   truncation, a flipped byte, a stale format — classifies as [Corrupt],
+   the file is unlinked, and the caller recomputes from the IR. A
+   corrupted entry is never trusted, even partially. *)
+
+let magic = "usher-summary/1"
+
+(* function -> (source ordinal, ordered member ordinals) list *)
+type payload = (string * (int * int array) list) list
+
+type load_result =
+  | Hit of payload
+  | Miss
+  | Corrupt of string  (** path of the rejected (and removed) file *)
+
+let path (dir : string) (key : string) : string =
+  Filename.concat dir (key ^ ".sum")
+
+let ensure_dir (dir : string) : unit =
+  if not (Sys.file_exists dir) then (try Sys.mkdir dir 0o755 with _ -> ())
+
+let serialize_body (p : payload) : string =
+  let b = Buffer.create 1024 in
+  let int n = Buffer.add_string b (string_of_int n) in
+  List.iter
+    (fun (fn, srcs) ->
+      Buffer.add_string b "f ";
+      Buffer.add_string b fn;
+      Buffer.add_char b ' ';
+      int (List.length srcs);
+      Buffer.add_char b '\n';
+      List.iter
+        (fun (so, members) ->
+          Buffer.add_string b "s ";
+          int so;
+          Buffer.add_char b ' ';
+          int (Array.length members);
+          Buffer.add_char b '\n';
+          Array.iter
+            (fun m ->
+              int m;
+              Buffer.add_char b '\n')
+            members)
+        srcs)
+    p;
+  Buffer.contents b
+
+exception Bad
+
+(* Cursor-based parser: this is the warm path (one call per cache hit),
+   so it reads ordinals straight out of the whole-file buffer from
+   [start] — no line splitting, no per-token strings, no body copy. Any
+   malformation raises [Bad] -> [None]. *)
+let parse_body (body : string) (start : int) : payload option =
+  let n = String.length body in
+  let pos = ref start in
+  let tok () =
+    if !pos >= n then raise Bad;
+    let start = !pos in
+    while !pos < n && body.[!pos] <> ' ' && body.[!pos] <> '\n' do
+      incr pos
+    done;
+    let s = String.sub body start (!pos - start) in
+    if !pos < n then incr pos;
+    s
+  in
+  let int_tok () =
+    if !pos >= n then raise Bad;
+    let v = ref 0 in
+    let any = ref false in
+    while !pos < n && body.[!pos] <> ' ' && body.[!pos] <> '\n' do
+      let c = body.[!pos] in
+      if c < '0' || c > '9' then raise Bad;
+      v := (!v * 10) + (Char.code c - 48);
+      if !v > 0x3FFFFFFF then raise Bad;
+      any := true;
+      incr pos
+    done;
+    if not !any then raise Bad;
+    if !pos < n then incr pos;
+    !v
+  in
+  try
+    let fns = ref [] in
+    while !pos < n do
+      if tok () <> "f" then raise Bad;
+      let fn = tok () in
+      let cnt = int_tok () in
+      if cnt > n then raise Bad;
+      let srcs = ref [] in
+      for _ = 1 to cnt do
+        if tok () <> "s" then raise Bad;
+        let so = int_tok () in
+        let mcnt = int_tok () in
+        if mcnt > n then raise Bad;
+        let members = Array.init mcnt (fun _ -> int_tok ()) in
+        srcs := (so, members) :: !srcs
+      done;
+      fns := (fn, List.rev !srcs) :: !fns
+    done;
+    Some (List.rev !fns)
+  with Bad -> None
+
+(* Raw [Unix.read] into one exact-size buffer: a channel would allocate
+   its own 64K buffer per open, which dwarfs the typical entry (sub-KB)
+   across a warm run's hundreds of loads. Anything over the size cap is
+   not a plausible summary artifact and reads as a miss. *)
+let read_file (p : string) : string option =
+  match Unix.openfile p [ Unix.O_RDONLY ] 0 with
+  | exception _ -> None
+  | fd ->
+    let r =
+      try
+        let len = (Unix.fstat fd).Unix.st_size in
+        if len < 0 || len > 16 * 1024 * 1024 then None
+        else begin
+          let buf = Bytes.create len in
+          let off = ref 0 in
+          let short = ref false in
+          while (not !short) && !off < len do
+            let k = Unix.read fd buf !off (len - !off) in
+            if k = 0 then short := true else off := !off + k
+          done;
+          if !short then None else Some (Bytes.unsafe_to_string buf)
+        end
+      with _ -> None
+    in
+    (try Unix.close fd with _ -> ());
+    r
+
+let load (dir : string) (key : string) : load_result =
+  let p = path dir key in
+  match read_file p with
+  | None -> Miss
+  | Some content ->
+    let reject () =
+      (try Sys.remove p with _ -> ());
+      Corrupt p
+    in
+    (match String.index_opt content '\n' with
+    | None -> reject ()
+    | Some i ->
+      let header = String.sub content 0 i in
+      let blen = String.length content - i - 1 in
+      (match String.split_on_char ' ' header with
+      | [ m; k; md5 ]
+        when m = magic && k = key
+             && md5 = Digest.to_hex (Digest.substring content (i + 1) blen)
+        -> (
+        match parse_body content (i + 1) with
+        | Some payload -> Hit payload
+        | None -> reject ())
+      | _ -> reject ()))
+
+let write (dir : string) (key : string) (p : payload) : unit =
+  try
+    ensure_dir dir;
+    let body = serialize_body p in
+    let header =
+      Printf.sprintf "%s %s %s\n" magic key (Digest.to_hex (Digest.string body))
+    in
+    let tmp = Filename.temp_file ~temp_dir:dir ".sum-" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc header;
+    output_string oc body;
+    close_out oc;
+    (* First writer wins: rename is atomic, and a racing rename of the
+       same key installs identical bytes, so the winner is immaterial. *)
+    Sys.rename tmp (path dir key)
+  with _ -> ()

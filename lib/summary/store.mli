@@ -1,0 +1,29 @@
+(** Checksummed on-disk store for per-SCC value-flow summaries.
+
+    One file per content key under the cache directory, installed with a
+    first-writer-wins temp-file-plus-rename (the same discipline as the
+    daemon's reply cache): concurrent writers of one key are benign
+    because identical keys imply identical bytes. A loaded entry is
+    trusted only after its magic, embedded key, and body checksum all
+    verify; anything else is [Corrupt] — the file is removed and the
+    caller recomputes. *)
+
+val magic : string
+
+(** Per function of the SCC: (source ordinal, ordered member ordinals),
+    both indices into the function's canonical node order. Member order
+    is significant — a warm load must replay the cold traversal order
+    exactly. *)
+type payload = (string * (int * int array) list) list
+
+type load_result =
+  | Hit of payload
+  | Miss
+  | Corrupt of string  (** path of the rejected (and removed) file *)
+
+val path : string -> string -> string
+val load : string -> string -> load_result
+
+(** Best-effort: failures (permissions, disk full) are swallowed — the
+    cache accelerates, it never gates. *)
+val write : string -> string -> payload -> unit

@@ -1,0 +1,405 @@
+(* Compositional value-flow summaries (lib/summary): differential
+   equivalence against the monolithic resolver, incremental-cache
+   reuse/invalidation/corruption behavior, per-SCC degradation, and the
+   bottom-up callgraph order the engine is built on. *)
+
+open Helpers
+
+let knobs_sum = { Usher.Config.default_knobs with summaries = true }
+
+let knobs_cache dir =
+  { Usher.Config.default_knobs with summaries = true; summary_cache = Some dir }
+
+let sum_stats (a : Usher.Pipeline.analysis) : Summary.Engine.stats =
+  match a.summary_stats with
+  | Some s -> s
+  | None -> Alcotest.fail "analysis ran without summary stats"
+
+(* ---- scratch dirs ---- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let scratch name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "usher-sum-%s-%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+(* ---- differential campaign: compositional ≡ monolithic ---- *)
+
+let all_variants =
+  [
+    Usher.Config.Msan;
+    Usher.Config.Usher_tl;
+    Usher.Config.Usher_tl_at;
+    Usher.Config.Usher_opt1;
+    Usher.Config.Usher_full;
+  ]
+
+(* The one observable the two engines may legitimately disagree on is the
+   [states_explored] counter (each counts its own search's work); every
+   analysis artifact — Γ on both graphs, the Opt II re-resolution, and
+   all five instrumentation plans — must be identical. *)
+let check_equivalent ~seed ~src (a1 : Usher.Pipeline.analysis)
+    (a2 : Usher.Pipeline.analysis) =
+  let fail what =
+    QCheck.Test.fail_reportf "seed %d: %s diverges between engines:\n%s" seed
+      what src
+  in
+  if not (Bytes.equal a1.gamma.undef a2.gamma.undef) then fail "gamma";
+  if not (Bytes.equal a1.gamma_tl.undef a2.gamma_tl.undef) then fail "gamma-tl";
+  if not (Bytes.equal a1.opt2.gamma.undef a2.opt2.gamma.undef) then
+    fail "opt2 gamma";
+  if a1.opt2.redirected <> a2.opt2.redirected then fail "opt2 redirected";
+  List.iter
+    (fun v ->
+      let p1, _ = Usher.Pipeline.plan_for a1 v in
+      let p2, _ = Usher.Pipeline.plan_for a2 v in
+      if p1 <> p2 then
+        fail (Printf.sprintf "%s plan" (Usher.Config.variant_name v)))
+    all_variants;
+  true
+
+let differential_prop =
+  QCheck.Test.make ~count:300
+    ~name:"compositional resolution == monolithic (300-program campaign)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let src = Audit.Gen.source ~seed () in
+      let prog = front src in
+      let a1 = Usher.Pipeline.analyze prog in
+      let a2 = Usher.Pipeline.analyze ~knobs:knobs_sum prog in
+      ignore (check_equivalent ~seed ~src a1 a2);
+      (* identical plans make identical runtime behavior, but spot-check
+         the end-to-end claim on a sample anyway: detections agree *)
+      if seed mod 10 = 0 then begin
+        let d1 = detections src Usher.Config.Usher_full in
+        let d2 = detections ~knobs:knobs_sum src Usher.Config.Usher_full in
+        if d1 <> d2 then
+          QCheck.Test.fail_reportf "seed %d: detections diverge:\n%s" seed src
+      end;
+      true)
+
+(* The fixed corpus the rest of the repo leans on must agree too. The
+   test binary runs from _build, where dune materializes a partial copy
+   of examples/, so walk up and accept the first ancestor that actually
+   yields the full program set. *)
+let example_files (root : string) : string list =
+  let dirs =
+    [
+      Filename.concat root "examples";
+      Filename.concat root (Filename.concat "examples" "corpus");
+    ]
+  in
+  List.concat_map
+    (fun d ->
+      match Sys.readdir d with
+      | entries ->
+        Array.to_list entries
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".tc" || Filename.check_suffix f ".c")
+        |> List.map (Filename.concat d)
+      | exception Sys_error _ -> [])
+    dirs
+
+let example_set () =
+  let rec up d =
+    let files = example_files d in
+    if List.length files > 5 then Some files
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_examples_equivalent () =
+  let files =
+    match example_set () with
+    | Some fs -> fs
+    | None -> Alcotest.skip ()
+  in
+  check_bool "found example programs" true (List.length files > 5);
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let prog = front src in
+      let a1 = Usher.Pipeline.analyze prog in
+      let a2 = Usher.Pipeline.analyze ~knobs:knobs_sum prog in
+      check_bool (path ^ ": gamma") true
+        (Bytes.equal a1.gamma.undef a2.gamma.undef);
+      check_bool (path ^ ": gamma-tl") true
+        (Bytes.equal a1.gamma_tl.undef a2.gamma_tl.undef);
+      check_bool (path ^ ": opt2") true
+        (Bytes.equal a1.opt2.gamma.undef a2.opt2.gamma.undef))
+    files
+
+(* And a generated workload (bigger, layered call graphs than examples). *)
+let test_workload_equivalent () =
+  let p = Workloads.Spec2000.find "164.gzip" in
+  let src = Workloads.Spec2000.source ~scale:2 p in
+  let prog = front src in
+  let a1 = Usher.Pipeline.analyze prog in
+  let a2 = Usher.Pipeline.analyze ~knobs:knobs_sum prog in
+  check_bool "164.gzip: gamma" true (Bytes.equal a1.gamma.undef a2.gamma.undef);
+  check_bool "164.gzip: gamma-tl" true
+    (Bytes.equal a1.gamma_tl.undef a2.gamma_tl.undef);
+  check_bool "164.gzip: opt2" true
+    (Bytes.equal a1.opt2.gamma.undef a2.opt2.gamma.undef)
+
+(* ---- incremental cache ---- *)
+
+(* A program whose call graph has distinct layers, so editing one leaf
+   invalidates that leaf and its transitive callers but nothing else. *)
+let layered_src ~leaf_const =
+  Printf.sprintf
+    "int leaf(int x) { int t; if (x > 3) { t = x + %d; } return t + 1; }\n\
+     int mid(int x) { return leaf(x) + leaf(x + 1); }\n\
+     int other(int x) { int u; if (x > 0) { u = 2; } return u; }\n\
+     int main() { print(mid(4)); print(other(1)); return 0; }\n"
+    leaf_const
+
+let test_cache_cold_warm () =
+  let dir = scratch "coldwarm" in
+  let src = layered_src ~leaf_const:7 in
+  let prog = front src in
+  let mono = Usher.Pipeline.analyze prog in
+  let cold = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) prog in
+  let sc = sum_stats cold in
+  check_bool "cold run computes summaries" true (sc.computed > 0);
+  check_bool "cold run misses nothing it wrote itself" true
+    (sc.cache_corrupt = 0);
+  let warm = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) prog in
+  let sw = sum_stats warm in
+  check_int "warm run recomputes nothing" 0 sw.recomputed;
+  check_bool "warm run reuses entries" true (sw.reused > 0);
+  check_int "warm run detects no corruption" 0 sw.cache_corrupt;
+  (* all three runs produce the same Γ, and cold/warm agree exactly *)
+  check_bool "cold == monolithic" true
+    (Bytes.equal mono.gamma.undef cold.gamma.undef);
+  check_bool "warm == cold (gamma)" true
+    (Bytes.equal cold.gamma.undef warm.gamma.undef);
+  check_bool "warm == cold (gamma-tl)" true
+    (Bytes.equal cold.gamma_tl.undef warm.gamma_tl.undef);
+  check_int "warm == cold (states counter)" cold.gamma.states_explored
+    warm.gamma.states_explored;
+  rm_rf dir
+
+let test_cache_invalidation () =
+  let dir = scratch "invalidate" in
+  let p1 = front (layered_src ~leaf_const:7) in
+  ignore (Usher.Pipeline.analyze ~knobs:(knobs_cache dir) p1);
+  (* editing [leaf]'s literal changes its IR hash, hence its key, hence —
+     through key chaining — [mid]'s and [main]'s; [other] stays cached *)
+  let p2 = front (layered_src ~leaf_const:8) in
+  let a2 = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) p2 in
+  let s2 = sum_stats a2 in
+  check_bool "edit recomputes the dependent chain" true (s2.recomputed > 0);
+  check_bool "edit reuses the untouched function" true (s2.reused > 0);
+  (* equivalence after the incremental re-resolution *)
+  let mono2 = Usher.Pipeline.analyze p2 in
+  check_bool "incremental == monolithic after edit" true
+    (Bytes.equal mono2.gamma.undef a2.gamma.undef);
+  (* the reverse edit hits the first run's entries: nothing recomputes *)
+  let a3 = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) p1 in
+  check_int "reverting the edit is fully warm" 0 (sum_stats a3).recomputed;
+  rm_rf dir
+
+let test_cache_corruption () =
+  let dir = scratch "corrupt" in
+  let src = layered_src ~leaf_const:7 in
+  let prog = front src in
+  let good = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) prog in
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sum")
+  in
+  check_bool "cache has entries" true (entries <> []);
+  (* flip one byte near the end of an entry's body: the header checksum
+     must catch it, the entry must be recomputed, never trusted *)
+  let victim = Filename.concat dir (List.hd (List.sort compare entries)) in
+  let ic = open_in_bin victim in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  let pos = Bytes.length b - 2 in
+  Bytes.set b pos (if Bytes.get b pos = 'x' then 'y' else 'x');
+  let oc = open_out_bin victim in
+  output_bytes oc b;
+  close_out oc;
+  let a = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) prog in
+  let s = sum_stats a in
+  check_bool "corruption detected by checksum" true (s.cache_corrupt >= 1);
+  check_bool "corrupt entry recomputed" true (s.recomputed >= 1);
+  check_bool "gamma unaffected by corruption" true
+    (Bytes.equal good.gamma.undef a.gamma.undef);
+  (* the incident is on the degradation audit trail, as an Info event *)
+  check_bool "corruption surfaced as a degradation event" true
+    (List.exists
+       (fun (e : Usher.Degrade.event) ->
+         e.phase = Diag.Resolve && e.diag.Diag.severity = Diag.Info)
+       !(a.events));
+  (* self-healed: the rewritten entry serves the next run *)
+  let a2 = Usher.Pipeline.analyze ~knobs:(knobs_cache dir) prog in
+  check_int "cache self-heals" 0 (sum_stats a2).cache_corrupt;
+  check_int "healed cache is fully warm" 0 (sum_stats a2).recomputed;
+  rm_rf dir
+
+(* ---- degradation: per-SCC fallback stays exact ---- *)
+
+let test_scc_fallback () =
+  let src = layered_src ~leaf_const:7 in
+  let prog = front src in
+  let mono = Usher.Pipeline.analyze prog in
+  let fault =
+    match Usher.Fault.of_spec "resolve:mid=crash" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let knobs = { knobs_sum with inject = [ fault ] } in
+  let a = Usher.Pipeline.analyze ~knobs prog in
+  let s = sum_stats a in
+  check_bool "faulted SCC fell back" true (s.fallback_sccs >= 1);
+  (* the fallback re-resolves exactly, so Γ is still the precise one —
+     and the event is Info so certification is not skipped *)
+  check_bool "fallback gamma is exact" true
+    (Bytes.equal mono.gamma.undef a.gamma.undef);
+  check_bool "fallback is a soft (Info) degradation" true
+    (List.exists
+       (fun (e : Usher.Degrade.event) ->
+         e.phase = Diag.Resolve && e.diag.Diag.severity = Diag.Info)
+       !(a.events));
+  check_bool "no function was distrusted" true
+    (Hashtbl.length a.distrusted = 0)
+
+(* ---- callgraph: bottom-up SCC order (what the engine relies on) ---- *)
+
+let scc_index_of (sccs : Ir.Types.fname list array) :
+    (Ir.Types.fname, int) Hashtbl.t =
+  let idx = Hashtbl.create 16 in
+  Array.iteri (fun i fns -> List.iter (fun f -> Hashtbl.replace idx f i) fns) sccs;
+  idx
+
+let funcs_of (prog : Ir.Prog.t) : Ir.Types.func list =
+  List.rev (Ir.Prog.fold_funcs (fun acc f -> f :: acc) [] prog)
+
+let check_bottom_up ~what (prog : Ir.Prog.t) (cg : Analysis.Callgraph.t) =
+  let sccs = Analysis.Callgraph.bottom_up_sccs cg in
+  let idx = scc_index_of sccs in
+  (* every function appears in exactly one SCC *)
+  let total = Array.fold_left (fun n l -> n + List.length l) 0 sccs in
+  check_int (what ^ ": SCCs partition the functions")
+    (List.length (funcs_of prog))
+    total;
+  check_int (what ^ ": no function in two SCCs")
+    total (Hashtbl.length idx);
+  List.iter
+    (fun (f : Ir.Types.func) ->
+      let fn = f.Ir.Types.fname in
+      let fi = Hashtbl.find idx fn in
+      List.iter
+        (fun callee ->
+          match Hashtbl.find_opt idx callee with
+          | None -> ()  (* unresolved external *)
+          | Some ci ->
+            if ci > fi then
+              Alcotest.failf
+                "%s: callee %s (scc %d) does not precede caller %s (scc %d)"
+                what callee ci fn fi
+            else if ci = fi then
+              (* same SCC: both on a cycle, so both must be recursive *)
+              check_bool
+                (Printf.sprintf "%s: %s and %s share an SCC => recursive" what
+                   fn callee)
+                true
+                (fn = callee
+                || Analysis.Callgraph.is_recursive cg fn
+                   && Analysis.Callgraph.is_recursive cg callee))
+        (Analysis.Callgraph.callees_of cg fn))
+    (funcs_of prog);
+  (* is_recursive agrees with the condensation: true iff the function's
+     SCC is nontrivial or it calls itself directly *)
+  List.iter
+    (fun (f : Ir.Types.func) ->
+      let fn = f.Ir.Types.fname in
+      let member_count =
+        Array.fold_left
+          (fun n l -> if List.mem fn l then n + List.length l else n)
+          0 sccs
+      in
+      let self_loop = List.mem fn (Analysis.Callgraph.callees_of cg fn) in
+      check_bool
+        (Printf.sprintf "%s: is_recursive(%s) matches SCC membership" what fn)
+        (member_count > 1 || self_loop)
+        (Analysis.Callgraph.is_recursive cg fn))
+    (funcs_of prog)
+
+let test_bottom_up_handwritten () =
+  (* self-recursion, a mutually recursive pair, and an acyclic tail *)
+  let src =
+    "int self(int n) { if (n <= 0) { return 1; } return self(n - 1) + 1; }\n\
+     int mb(int n) { if (n <= 0) { return 0; } return ma(n - 1); }\n\
+     int ma(int n) { if (n <= 0) { return 0; } return mb(n - 1); }\n\
+     int leafy(int n) { return n + 2; }\n\
+     int main() { print(self(3) + ma(4) + leafy(5)); return 0; }\n"
+  in
+  let prog, a = analyze src in
+  check_bottom_up ~what:"handwritten" prog a.cg;
+  let cg = a.cg in
+  check_bool "self is recursive" true (Analysis.Callgraph.is_recursive cg "self");
+  check_bool "ma is recursive" true (Analysis.Callgraph.is_recursive cg "ma");
+  check_bool "mb is recursive" true (Analysis.Callgraph.is_recursive cg "mb");
+  check_bool "leafy is not recursive" false
+    (Analysis.Callgraph.is_recursive cg "leafy");
+  check_bool "main is not recursive" false
+    (Analysis.Callgraph.is_recursive cg "main");
+  (* ma and mb share an SCC; self and leafy have their own *)
+  let sccs = Analysis.Callgraph.bottom_up_sccs cg in
+  let idx = scc_index_of sccs in
+  check_int "ma and mb share an SCC" (Hashtbl.find idx "ma")
+    (Hashtbl.find idx "mb");
+  check_bool "self is alone in its SCC" true
+    (Hashtbl.find idx "self" <> Hashtbl.find idx "ma")
+
+let bottom_up_prop =
+  QCheck.Test.make ~count:60
+    ~name:"bottom_up_sccs: callees precede callers (random call graphs)"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      (* the fuzz generator's call graphs mix direct calls,
+         function-pointer dispatch and the mutually recursive shape *)
+      let prog, a = analyze (Audit.Gen.source ~seed ()) in
+      check_bottom_up ~what:(Printf.sprintf "seed %d" seed) prog a.cg;
+      true)
+
+let suites =
+  [
+    ( "summary-differential",
+      [
+        QCheck_alcotest.to_alcotest differential_prop;
+        tc "fixed examples agree" test_examples_equivalent;
+        tc "generated workload agrees" test_workload_equivalent;
+      ] );
+    ( "summary-cache",
+      [
+        tc "cold then warm" test_cache_cold_warm;
+        tc "one edit invalidates only dependents" test_cache_invalidation;
+        tc "corruption is detected, never trusted" test_cache_corruption;
+        tc "per-SCC fault falls back exactly" test_scc_fallback;
+      ] );
+    ( "summary-callgraph",
+      [
+        tc "handwritten recursion shapes" test_bottom_up_handwritten;
+        QCheck_alcotest.to_alcotest bottom_up_prop;
+      ] );
+  ]
